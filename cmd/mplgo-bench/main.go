@@ -1,0 +1,74 @@
+// Command mplgo-bench regenerates the paper's tables and figures
+// (experiment index in DESIGN.md §5).
+//
+// Usage:
+//
+//	mplgo-bench -exp time       # T1: time table (Tseq, T1, T64, overhead, speedup)
+//	mplgo-bench -exp space      # T2: space table (max residency, blowups)
+//	mplgo-bench -exp speedup    # F1: speedup curves vs processors
+//	mplgo-bench -exp lang       # T3: language comparison vs native Go
+//	mplgo-bench -exp entangle   # T4: entanglement cost metrics
+//	mplgo-bench -exp ablate     # F2: barrier-mode ablation
+//	mplgo-bench -exp spacecurve # F3: residency vs processors
+//	mplgo-bench -exp all        # everything, in order
+//
+// -scale divides every benchmark's default problem size (e.g. -scale 4
+// runs quarter-size problems for a quick look).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mplgo/internal/bench"
+	"mplgo/internal/tables"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: time|space|speedup|lang|entangle|ablate|spacecurve|stw|all")
+	scale := flag.Int("scale", 1, "divide default problem sizes by this factor")
+	flag.Parse()
+
+	var sizes map[string]int
+	if *scale > 1 {
+		sizes = map[string]int{}
+		for _, b := range bench.All {
+			n := b.DefaultN / *scale
+			if n < 4 {
+				n = 4
+			}
+			// fib and nqueens scale by subtraction, not division.
+			switch b.Name {
+			case "fib":
+				n = b.DefaultN - *scale
+			case "nqueens":
+				n = b.DefaultN - 1
+			}
+			sizes[b.Name] = n
+		}
+	}
+
+	w := os.Stdout
+	run := func(name string, f func()) {
+		if *exp == name || *exp == "all" {
+			f()
+			fmt.Fprintln(w)
+		}
+	}
+	run("time", func() { tables.TimeTable(sizes, w) })
+	run("space", func() { tables.SpaceTable(sizes, w) })
+	run("speedup", func() { tables.SpeedupFigure(sizes, w) })
+	run("lang", func() { tables.LangTable(sizes, w) })
+	run("entangle", func() { tables.EntangleTable(sizes, w) })
+	run("ablate", func() { tables.AblateFigure(sizes, w) })
+	run("spacecurve", func() { tables.SpaceFigure(sizes, w) })
+	run("stw", func() { tables.STWTable(sizes, w) })
+
+	switch *exp {
+	case "time", "space", "speedup", "lang", "entangle", "ablate", "spacecurve", "stw", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

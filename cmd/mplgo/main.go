@@ -1,0 +1,89 @@
+// Command mplgo runs programs in the mlang Parallel-ML-family language on
+// the hierarchical runtime with entanglement management.
+//
+// Usage:
+//
+//	mplgo [flags] program.mpl
+//	mplgo [flags] -e 'par (1 + 1, 2 + 2)'
+//
+// Flags:
+//
+//	-e expr     evaluate an expression instead of a file
+//	-procs N    scheduler workers (default 1)
+//	-mode M     entanglement mode: manage (default), detect, unsafe
+//	-stats      print runtime statistics (GC, entanglement) to stderr
+//	-dis        print the compiled bytecode to stderr before running
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mplgo/internal/mlang"
+	"mplgo/mpl"
+)
+
+func main() {
+	expr := flag.String("e", "", "expression to evaluate")
+	procs := flag.Int("procs", 1, "scheduler workers")
+	modeName := flag.String("mode", "manage", "entanglement mode: manage|detect|unsafe")
+	stats := flag.Bool("stats", false, "print runtime statistics")
+	dis := flag.Bool("dis", false, "print compiled bytecode")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *expr != "":
+		src = *expr
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mplgo [flags] program.mpl | mplgo -e expr")
+		os.Exit(2)
+	}
+
+	var mode mpl.Mode
+	switch *modeName {
+	case "manage":
+		mode = mpl.Manage
+	case "detect":
+		mode = mpl.Detect
+	case "unsafe":
+		mode = mpl.Unsafe
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	if *dis {
+		ast, err := mlang.Parse(src)
+		if err == nil {
+			if prog, err := mlang.Compile(ast); err == nil {
+				fmt.Fprint(os.Stderr, prog.Disassemble())
+			}
+		}
+	}
+
+	res, err := mlang.Run(src, mpl.Config{Procs: *procs, Mode: mode})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Output)
+	fmt.Printf("val it = %s : %s\n", res.Rendered, res.Type)
+
+	if *stats {
+		s := res.Runtime.EntStats()
+		c, copied, reclaimed := res.Runtime.GCStats()
+		fmt.Fprintf(os.Stderr, "heaps: %d  steals: %d\n", res.Runtime.Tree().Count(), res.Runtime.Steals())
+		fmt.Fprintf(os.Stderr, "gc: %d collections, %d words copied, %d reclaimed\n", c, copied, reclaimed)
+		fmt.Fprintf(os.Stderr, "entanglement: %d reads, %d writes, %d pins, %d unpins, peak %d\n",
+			s.EntangledReads, s.EntangledWrites, s.Pins, s.Unpins, s.PinnedPeak)
+	}
+}

@@ -1,0 +1,120 @@
+// Concurrent deduplication — an *entangled* workload, the kind of program
+// this paper makes possible on a hierarchical heap.
+//
+// Tasks insert strings into a shared hash set built from CAS-linked lists.
+// A task walking a bucket reads nodes allocated by concurrent tasks: those
+// are entangled reads, and the runtime pins the nodes (with unpin depths)
+// so its moving local collectors leave them in place until the tasks join.
+// Under the pre-paper discipline (detect-and-abort, -mode detect here)
+// this program is rejected.
+//
+//	go run ./examples/dedup
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"mplgo/internal/workload"
+	"mplgo/mpl"
+)
+
+const (
+	n       = 100_000
+	buckets = 1024
+)
+
+func fnv(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func strEq(t *mpl.Task, ref mpl.Ref, s string) bool {
+	if t.StrLen(ref) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if t.ByteOf(ref, i) != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dedup(rt *mpl.Runtime, words []string) (int64, error) {
+	var distinct int64
+	_, err := rt.Run(func(t *mpl.Task) mpl.Value {
+		fb := t.NewFrame(1)
+		fb.Set(0, t.AllocArray(buckets, mpl.Nil).Value())
+
+		var count func(t *mpl.Task, lo, hi int) int64
+		count = func(t *mpl.Task, lo, hi int) int64 {
+			if hi-lo > 512 {
+				mid := (lo + hi) / 2
+				a, b := t.Par(
+					func(t *mpl.Task) mpl.Value { return mpl.Int(count(t, lo, mid)) },
+					func(t *mpl.Task) mpl.Value { return mpl.Int(count(t, mid, hi)) },
+				)
+				return a.AsInt() + b.AsInt()
+			}
+			var added int64
+		insert:
+			for i := lo; i < hi; i++ {
+				s := words[i]
+				bkt := int(fnv(s) % buckets)
+				for {
+					head := t.Read(fb.Ref(0), bkt)
+					for cur := head; cur.IsRef(); {
+						node := cur.Ref()
+						if strEq(t, t.Read(node, 0).Ref(), s) {
+							continue insert
+						}
+						cur = t.Read(node, 1)
+					}
+					f := t.NewFrame(1)
+					f.Set(0, head)
+					sr := t.AllocString(s)
+					node := t.AllocTuple(sr.Value(), f.Get(0))
+					head = f.Get(0)
+					f.Pop()
+					if t.CAS(fb.Ref(0), bkt, head, node.Value()) {
+						added++
+						continue insert
+					}
+				}
+			}
+			return added
+		}
+		distinct = count(t, 0, len(words))
+		fb.Pop()
+		return mpl.Int(distinct)
+	})
+	return distinct, err
+}
+
+func main() {
+	words := workload.Strings(7, n, n/20)
+
+	rt := mpl.New(mpl.Config{Procs: 4})
+	distinct, err := dedup(rt, words)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted %d strings, %d distinct\n", n, distinct)
+	s := rt.EntStats()
+	fmt.Printf("entangled reads: %d, pins: %d, unpins: %d, peak pinned: %d\n",
+		s.EntangledReads, s.Pins, s.Unpins, s.PinnedPeak)
+	if s.Pins == s.Unpins {
+		fmt.Println("every pin was released by a join: entanglement cost is transient")
+	}
+
+	// The same program under the old detect-and-abort discipline.
+	_, err = dedup(mpl.New(mpl.Config{Procs: 4, Mode: mpl.Detect}), words[:2000])
+	if errors.Is(err, mpl.ErrEntangled) {
+		fmt.Println("detect-and-abort MPL rejects this program; management runs it")
+	}
+}

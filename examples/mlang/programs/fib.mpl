@@ -1,0 +1,6 @@
+(* Parallel Fibonacci: par forks child heaps; joins merge them back. *)
+let fun fib n =
+  if n < 2 then n
+  else if n < 12 then fib (n - 1) + fib (n - 2)
+  else let val p = par (fib (n - 1), fib (n - 2)) in #1 p + #2 p end
+in (print (fib 25); fib 25) end

@@ -1,0 +1,12 @@
+(* An ENTANGLED program: the left task publishes a ref of a ref, the right
+   task reads through it while both run. Old MPL aborts this program
+   (run with -mode detect to see); entanglement management executes it. *)
+let val cell = ref (ref 0) in
+let val p = par (
+    (cell := ref 41; 1),
+    let fun poll u =
+      let val v = ! (!cell) in
+      if v = 41 then v + 1 else poll ()
+      end
+    in poll () end)
+in #2 p end end

@@ -1,0 +1,9 @@
+(* Parallel histogram via tabulate over bins: each bin counts its own
+   values — a reduction expressed with data-parallel primitives. *)
+let val n = 20000 in
+let val bins = 8 in
+let val h = tabulate (bins, fn b =>
+  reduce (tabulate (n, fn i => if (i * i) mod bins = b then 1 else 0), 0,
+          fn x => fn y => x + y)) in
+reduce (tabulate (bins, fn b => sub (h, b) * (b + 1)), 0, fn x => fn y => x + y)
+end end end

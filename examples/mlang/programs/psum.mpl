@@ -1,0 +1,3 @@
+(* Data-parallel primitives: tabulate builds in parallel, reduce folds in
+   parallel. Sum of squares below 10000. *)
+reduce (tabulate (10000, fn i => i * i), 0, fn a => fn b => a + b)

@@ -1,0 +1,13 @@
+(* Imperative sieve of Eratosthenes: unrestricted task-local effects. *)
+let val n = 5000 in
+let val composite = array (n, false) in
+let fun markFrom p =
+  let fun go k =
+    if p * k >= n then ()
+    else (update (composite, p * k, true); go (k + 1))
+  in go 2 end in
+let fun count i =
+  if i >= n then 0
+  else if not (sub (composite, i)) then (markFrom i; 1 + count (i + 1))
+  else count (i + 1)
+in count 2 end end end end

@@ -1,0 +1,126 @@
+// Parallel mergesort on the hierarchical runtime — the paper's flagship
+// disentangled workload shape: each task allocates its result arrays in
+// its own heap, children's heaps merge up at joins, and local collections
+// reclaim the intermediate arrays without any cross-task synchronization.
+//
+// The example sorts one million integers, verifies the order, and prints
+// GC statistics plus the simulated speedup curve for the recorded run.
+//
+//	go run ./examples/msort
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mplgo/internal/workload"
+	"mplgo/mpl"
+)
+
+const (
+	n     = 1_000_000
+	grain = 2048
+)
+
+// msort sorts arr[lo:hi) into a fresh array in the current task's heap.
+func msort(t *mpl.Task, arr mpl.Ref, lo, hi int) mpl.Ref {
+	size := hi - lo
+	if size <= grain {
+		f := t.NewFrame(1)
+		f.Set(0, arr.Value())
+		out := t.AllocArray(size, mpl.Int(0))
+		arr = f.Ref(0)
+		f.Pop()
+		for i := 0; i < size; i++ {
+			t.Write(out, i, t.Read(arr, lo+i))
+		}
+		// Insertion sort at the leaves.
+		for i := 1; i < size; i++ {
+			v := t.Read(out, i)
+			j := i - 1
+			for j >= 0 && t.Read(out, j).AsInt() > v.AsInt() {
+				t.Write(out, j+1, t.Read(out, j))
+				j--
+			}
+			t.Write(out, j+1, v)
+		}
+		return out
+	}
+	mid := lo + size/2
+	lv, rv := t.Par(
+		func(t *mpl.Task) mpl.Value { return msort(t, arr, lo, mid).Value() },
+		func(t *mpl.Task) mpl.Value { return msort(t, arr, mid, hi).Value() },
+	)
+	// Root the children's arrays across the output allocation.
+	f := t.NewFrame(2)
+	f.Set(0, lv)
+	f.Set(1, rv)
+	out := t.AllocArray(size, mpl.Int(0))
+	l, r := f.Ref(0), f.Ref(1)
+	i, j, k := 0, 0, 0
+	ln, rn := t.Length(l), t.Length(r)
+	for i < ln && j < rn {
+		a, b := t.Read(l, i), t.Read(r, j)
+		if a.AsInt() <= b.AsInt() {
+			t.Write(out, k, a)
+			i++
+		} else {
+			t.Write(out, k, b)
+			j++
+		}
+		k++
+	}
+	for ; i < ln; i++ {
+		t.Write(out, k, t.Read(l, i))
+		k++
+	}
+	for ; j < rn; j++ {
+		t.Write(out, k, t.Read(r, j))
+		k++
+	}
+	f.Pop()
+	return out
+}
+
+func main() {
+	input := workload.Ints(42, n, 1_000_000_000)
+
+	rt := mpl.New(mpl.Config{Procs: 4, Record: true})
+	_, err := rt.Run(func(t *mpl.Task) mpl.Value {
+		f := t.NewFrame(1)
+		f.Set(0, t.AllocArray(n, mpl.Int(0)).Value())
+		t.ParFor(0, n, 8192, func(t *mpl.Task, lo, hi int) {
+			a := f.Ref(0)
+			for i := lo; i < hi; i++ {
+				t.Write(a, i, mpl.Int(input[i]))
+			}
+		})
+		sorted := msort(t, f.Ref(0), 0, n)
+		// Verify.
+		prev := t.Read(sorted, 0).AsInt()
+		for i := 1; i < n; i++ {
+			v := t.Read(sorted, i).AsInt()
+			if v < prev {
+				log.Fatalf("not sorted at %d", i)
+			}
+			prev = v
+		}
+		f.Pop()
+		return mpl.Int(prev)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	collections, copied, reclaimed := rt.GCStats()
+	fmt.Printf("sorted %d integers\n", n)
+	fmt.Printf("local collections: %d (copied %d words, reclaimed %d)\n", collections, copied, reclaimed)
+	fmt.Printf("max residency: %d words\n", rt.MaxLiveWords())
+	ps := []int{1, 2, 4, 8, 16, 32, 64}
+	curve := mpl.Speedup(rt, ps, 200)
+	fmt.Print("simulated speedup:")
+	for i, p := range ps {
+		fmt.Printf("  P=%d: %.1fx", p, curve[i])
+	}
+	fmt.Println()
+}

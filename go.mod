@@ -1,0 +1,3 @@
+module mplgo
+
+go 1.22

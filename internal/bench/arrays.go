@@ -1,0 +1,363 @@
+package bench
+
+import (
+	"mplgo/internal/mem"
+	"mplgo/internal/workload"
+)
+
+// ---------------------------------------------------------------- quickhull
+// Convex hull by the quickhull algorithm. Coordinates are integers, the
+// farthest-point selection tie-breaks on the smaller index, and filtered
+// candidate lists preserve input order, so the hull — and the checksum —
+// is identical across implementations and schedules.
+
+func hullInput(n int) [][2]int64 { return workload.Points(seedHull, n, 1_000_000) }
+
+// hullCross is the orientation of p relative to the directed line a→b:
+// positive when p is strictly to the left.
+func hullCross(ax, ay, bx, by, px, py int64) int64 {
+	return (bx-ax)*(py-ay) - (by-ay)*(px-ax)
+}
+
+func hullTerm(x, y int64) int64 { return x*3 + y*7 + 13 }
+
+const hullGrain = 1024
+
+// quickhullRT reads coordinates through the runtime (two heap arrays) while
+// candidate index lists flow through Go slices (immediate integers).
+func quickhullRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	pts := hullInput(n)
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	for i, p := range pts {
+		xs[i], ys[i] = p[0], p[1]
+	}
+	// Frame the first array across the second load: both live in this
+	// task's own heap, which its collections may move.
+	f0 := t.NewFrame(2)
+	f0.Set(0, loadInts[T, F](t, xs).Value())
+	f0.Set(1, loadInts[T, F](t, ys).Value())
+	px, py := f0.Ref(0), f0.Ref(1)
+	f0.Pop()
+
+	coord := func(t T, i int32) (int64, int64) {
+		return t.Read(px, int(i)).AsInt(), t.Read(py, int(i)).AsInt()
+	}
+
+	// farthest returns the candidate farthest left of a→b (min index on
+	// ties), or -1 if none is strictly left.
+	var farthest func(t T, ax, ay, bx, by int64, cand []int32) (int32, int64)
+	farthest = func(t T, ax, ay, bx, by int64, cand []int32) (int32, int64) {
+		if len(cand) <= hullGrain {
+			best, bd := int32(-1), int64(0)
+			for _, i := range cand {
+				x, y := coord(t, i)
+				d := hullCross(ax, ay, bx, by, x, y)
+				if d > bd || (d == bd && d > 0 && (best == -1 || i < best)) {
+					best, bd = i, d
+				}
+			}
+			return best, bd
+		}
+		mid := len(cand) / 2
+		var li, ri int32
+		var ld, rd int64
+		t.Par(
+			func(t T) mem.Value { li, ld = farthest(t, ax, ay, bx, by, cand[:mid]); return mem.Nil },
+			func(t T) mem.Value { ri, rd = farthest(t, ax, ay, bx, by, cand[mid:]); return mem.Nil },
+		)
+		if rd > ld || (rd == ld && rd > 0 && (li == -1 || (ri != -1 && ri < li))) {
+			return ri, rd
+		}
+		return li, ld
+	}
+
+	// filterLeft keeps candidates strictly left of a→b, preserving order.
+	var filterLeft func(t T, ax, ay, bx, by int64, cand []int32) []int32
+	filterLeft = func(t T, ax, ay, bx, by int64, cand []int32) []int32 {
+		if len(cand) <= hullGrain {
+			var out []int32
+			for _, i := range cand {
+				x, y := coord(t, i)
+				if hullCross(ax, ay, bx, by, x, y) > 0 {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		mid := len(cand) / 2
+		var l, r []int32
+		t.Par(
+			func(t T) mem.Value { l = filterLeft(t, ax, ay, bx, by, cand[:mid]); return mem.Nil },
+			func(t T) mem.Value { r = filterLeft(t, ax, ay, bx, by, cand[mid:]); return mem.Nil },
+		)
+		return append(l, r...)
+	}
+
+	// rec adds hull vertices strictly between a and b (left side).
+	var rec func(t T, a, b int32, cand []int32) int64
+	rec = func(t T, a, b int32, cand []int32) int64 {
+		if len(cand) == 0 {
+			return 0
+		}
+		ax, ay := coord(t, a)
+		bx, by := coord(t, b)
+		far, d := farthest(t, ax, ay, bx, by, cand)
+		if far < 0 || d <= 0 {
+			return 0
+		}
+		fx, fy := coord(t, far)
+		var s1, s2 []int32
+		t.Par(
+			func(t T) mem.Value { s1 = filterLeft(t, ax, ay, fx, fy, cand); return mem.Nil },
+			func(t T) mem.Value { s2 = filterLeft(t, fx, fy, bx, by, cand); return mem.Nil },
+		)
+		var c1, c2 int64
+		t.Par(
+			func(t T) mem.Value { c1 = rec(t, a, far, s1); return mem.Nil },
+			func(t T) mem.Value { c2 = rec(t, far, b, s2); return mem.Nil },
+		)
+		return hullTerm(fx, fy) + c1 + c2
+	}
+
+	// Extremes (deterministic preprocessing, identical across impls).
+	imin, imax := int32(0), int32(0)
+	for i, p := range pts {
+		if p[0] < pts[imin][0] || (p[0] == pts[imin][0] && p[1] < pts[imin][1]) {
+			imin = int32(i)
+		}
+		if p[0] > pts[imax][0] || (p[0] == pts[imax][0] && p[1] > pts[imax][1]) {
+			imax = int32(i)
+		}
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	ax, ay := coord(t, imin)
+	bx, by := coord(t, imax)
+	var upper, lower []int32
+	t.Par(
+		func(t T) mem.Value { upper = filterLeft(t, ax, ay, bx, by, all); return mem.Nil },
+		func(t T) mem.Value { lower = filterLeft(t, bx, by, ax, ay, all); return mem.Nil },
+	)
+	sum := hullTerm(ax, ay) + hullTerm(bx, by)
+	var cu, cl int64
+	t.Par(
+		func(t T) mem.Value { cu = rec(t, imin, imax, upper); return mem.Nil },
+		func(t T) mem.Value { cl = rec(t, imax, imin, lower); return mem.Nil },
+	)
+	return sum + cu + cl
+}
+
+func quickhullNative(n int) int64 {
+	pts := hullInput(n)
+	coord := func(i int32) (int64, int64) { return pts[i][0], pts[i][1] }
+
+	farthest := func(ax, ay, bx, by int64, cand []int32) (int32, int64) {
+		best, bd := int32(-1), int64(0)
+		for _, i := range cand {
+			x, y := coord(i)
+			d := hullCross(ax, ay, bx, by, x, y)
+			if d > bd || (d == bd && d > 0 && (best == -1 || i < best)) {
+				best, bd = i, d
+			}
+		}
+		return best, bd
+	}
+	filterLeft := func(ax, ay, bx, by int64, cand []int32) []int32 {
+		var out []int32
+		for _, i := range cand {
+			x, y := coord(i)
+			if hullCross(ax, ay, bx, by, x, y) > 0 {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	var rec func(a, b int32, cand []int32) int64
+	rec = func(a, b int32, cand []int32) int64 {
+		if len(cand) == 0 {
+			return 0
+		}
+		ax, ay := coord(a)
+		bx, by := coord(b)
+		far, d := farthest(ax, ay, bx, by, cand)
+		if far < 0 || d <= 0 {
+			return 0
+		}
+		fx, fy := coord(far)
+		return hullTerm(fx, fy) + rec(a, far, filterLeft(ax, ay, fx, fy, cand)) +
+			rec(far, b, filterLeft(fx, fy, bx, by, cand))
+	}
+
+	imin, imax := int32(0), int32(0)
+	for i, p := range pts {
+		if p[0] < pts[imin][0] || (p[0] == pts[imin][0] && p[1] < pts[imin][1]) {
+			imin = int32(i)
+		}
+		if p[0] > pts[imax][0] || (p[0] == pts[imax][0] && p[1] > pts[imax][1]) {
+			imax = int32(i)
+		}
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	ax, ay := coord(imin)
+	bx, by := coord(imax)
+	return hullTerm(ax, ay) + hullTerm(bx, by) +
+		rec(imin, imax, filterLeft(ax, ay, bx, by, all)) +
+		rec(imax, imin, filterLeft(bx, by, ax, ay, all))
+}
+
+// ---------------------------------------------------------------- tokens / wc
+
+const textGrain = 16384
+
+func isSep(b byte) bool { return b == ' ' || b == '\n' }
+
+func tokensRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	text := workload.Text(seedText, n)
+	str := t.AllocString(text)
+	ln := t.StrLen(str)
+	return parSum[T, F](t, 0, ln, textGrain, func(t T, lo, hi int) int64 {
+		var c int64
+		for i := lo; i < hi; i++ {
+			b := t.ByteOf(str, i)
+			prev := byte(' ')
+			if i > 0 {
+				prev = t.ByteOf(str, i-1)
+			}
+			if !isSep(b) && isSep(prev) {
+				c++
+			}
+		}
+		return c
+	})
+}
+
+func tokensNative(n int) int64 {
+	text := workload.Text(seedText, n)
+	var c int64
+	for i := 0; i < len(text); i++ {
+		prev := byte(' ')
+		if i > 0 {
+			prev = text[i-1]
+		}
+		if !isSep(text[i]) && isSep(prev) {
+			c++
+		}
+	}
+	return c
+}
+
+func wcRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	text := workload.Text(seedText, n)
+	str := t.AllocString(text)
+	ln := t.StrLen(str)
+	lines := parSum[T, F](t, 0, ln, textGrain, func(t T, lo, hi int) int64 {
+		var c int64
+		for i := lo; i < hi; i++ {
+			if t.ByteOf(str, i) == '\n' {
+				c++
+			}
+		}
+		return c
+	})
+	words := tokensCount[T, F](t, str, ln)
+	return lines*1_000_003 + words*31 + int64(ln)
+}
+
+func tokensCount[T RT[T, F], F FrameI](t T, str mem.Ref, ln int) int64 {
+	return parSum[T, F](t, 0, ln, textGrain, func(t T, lo, hi int) int64 {
+		var c int64
+		for i := lo; i < hi; i++ {
+			b := t.ByteOf(str, i)
+			prev := byte(' ')
+			if i > 0 {
+				prev = t.ByteOf(str, i-1)
+			}
+			if !isSep(b) && isSep(prev) {
+				c++
+			}
+		}
+		return c
+	})
+}
+
+func wcNative(n int) int64 {
+	text := workload.Text(seedText, n)
+	var lines int64
+	for i := 0; i < len(text); i++ {
+		if text[i] == '\n' {
+			lines++
+		}
+	}
+	return lines*1_000_003 + tokensNative(n)*31 + int64(len(text))
+}
+
+// ---------------------------------------------------------------- spmv
+// Sparse matrix–vector product: rows in parallel write (immediate) results
+// into a shared output array — int stores into an ancestor array take no
+// barrier, which is part of what "shielding disentangled data" buys.
+
+const spmvNNZ = 16
+
+func spmvRT[T RT[T, F], F FrameI](t T, rows int) int64 {
+	rowPtr, col, val := workload.CSR(seedSpmv, rows, spmvNNZ)
+	xvec := workload.Ints(seedSpmv+1, rows, 1000)
+
+	rp64 := make([]int64, len(rowPtr))
+	for i, v := range rowPtr {
+		rp64[i] = int64(v)
+	}
+	col64 := make([]int64, len(col))
+	for i, v := range col {
+		col64[i] = int64(v)
+	}
+	// Frame each array across the subsequent loads (own-heap collections
+	// may move earlier arrays).
+	f0 := t.NewFrame(5)
+	f0.Set(0, loadInts[T, F](t, rp64).Value())
+	f0.Set(1, loadInts[T, F](t, col64).Value())
+	f0.Set(2, loadInts[T, F](t, val).Value())
+	f0.Set(3, loadInts[T, F](t, xvec).Value())
+	f0.Set(4, t.AllocArray(rows, mem.Int(0)).Value())
+	hRP, hCol, hVal, hX, hY := f0.Ref(0), f0.Ref(1), f0.Ref(2), f0.Ref(3), f0.Ref(4)
+	f0.Pop()
+
+	t.ParFor(0, rows, 32, func(t T, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := int64(0)
+			start := int(t.Read(hRP, i).AsInt())
+			end := int(t.Read(hRP, i+1).AsInt())
+			for k := start; k < end; k++ {
+				c := int(t.Read(hCol, k).AsInt())
+				s += t.Read(hVal, k).AsInt() * t.Read(hX, c).AsInt()
+			}
+			t.Write(hY, i, mem.Int(s))
+		}
+	})
+	return parSum[T, F](t, 0, rows, 64, func(t T, lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += t.Read(hY, i).AsInt()
+		}
+		return s
+	})
+}
+
+func spmvNative(rows int) int64 {
+	rowPtr, col, val := workload.CSR(seedSpmv, rows, spmvNNZ)
+	xvec := workload.Ints(seedSpmv+1, rows, 1000)
+	var sum int64
+	for i := 0; i < rows; i++ {
+		s := int64(0)
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			s += val[k] * xvec[col[k]]
+		}
+		sum += s
+	}
+	return sum
+}

@@ -1,0 +1,236 @@
+// Package bench implements the paper's benchmark suite three ways:
+//
+//   - on the hierarchical runtime with entanglement management (mpl),
+//   - on the global-heap baseline runtime (globalrt), and
+//   - natively in Go (the language-comparison datum).
+//
+// Each benchmark is written once against the generic RT surface below, so
+// the hierarchical and global runs execute the same algorithm on the same
+// simulated-heap object model; only the memory system differs. All three
+// implementations of a benchmark must produce identical checksums on the
+// same workload seed — the suite's tests enforce this.
+//
+// The disentangled half of the suite uses effects only within a task's own
+// path (the regime old MPL supported); the entangled half communicates
+// through shared mutable state across concurrent tasks (impossible under
+// detect-and-abort, the territory this paper opens).
+package bench
+
+import (
+	"mplgo/internal/globalrt"
+	"mplgo/internal/mem"
+	"mplgo/mpl"
+)
+
+// FrameI is the common shadow-stack frame surface of both runtimes.
+type FrameI interface {
+	Set(i int, v mem.Value)
+	Get(i int) mem.Value
+	Ref(i int) mem.Ref
+	Pop()
+}
+
+// RT is the common runtime surface the generic benchmark bodies run on.
+// *mpl.Task and *globalrt.Runtime both satisfy it (with their own frame
+// types), so one implementation serves both memory systems.
+type RT[T any, F FrameI] interface {
+	Par(f, g func(T) mem.Value) (mem.Value, mem.Value)
+	ParFor(lo, hi, grain int, body func(T, int, int))
+	AllocTuple(vs ...mem.Value) mem.Ref
+	AllocArray(n int, v mem.Value) mem.Ref
+	AllocRef(v mem.Value) mem.Ref
+	AllocString(s string) mem.Ref
+	Read(o mem.Ref, i int) mem.Value
+	Write(o mem.Ref, i int, v mem.Value)
+	CAS(o mem.Ref, i int, old, new mem.Value) bool
+	Length(o mem.Ref) int
+	StringOf(o mem.Ref) string
+	ByteOf(o mem.Ref, i int) byte
+	StrLen(o mem.Ref) int
+	NewFrame(n int) F
+	Work(n int64)
+}
+
+// Compile-time checks that both runtimes satisfy RT.
+var (
+	_ RT[*mpl.Task, mpl.Frame]              = (*mpl.Task)(nil)
+	_ RT[*globalrt.Runtime, globalrt.Frame] = (*globalrt.Runtime)(nil)
+)
+
+// Benchmark is one suite entry.
+type Benchmark struct {
+	Name string
+	// Entangled marks benchmarks whose tasks communicate through shared
+	// mutable state (rejected by detect-and-abort MPL).
+	Entangled bool
+	// DefaultN is the default problem size.
+	DefaultN int
+	// MPL runs the benchmark on the hierarchical runtime.
+	MPL func(t *mpl.Task, n int) int64
+	// Global runs it on the global-heap baseline runtime.
+	Global func(g *globalrt.Runtime, n int) int64
+	// Native runs it in plain Go.
+	Native func(n int) int64
+}
+
+// All is the registry: the core disentangled suite, the entangled suite,
+// then the extended disentangled benchmarks (extra.go).
+var All = []Benchmark{
+	{"fib", false, 25,
+		func(t *mpl.Task, n int) int64 { return fibRT[*mpl.Task, mpl.Frame](t, int64(n)) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return fibRT[*globalrt.Runtime, globalrt.Frame](g, int64(n))
+		},
+		func(n int) int64 { return fibNative(int64(n)) }},
+	{"mcss", false, 100_000,
+		func(t *mpl.Task, n int) int64 { return mcssRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 { return mcssRT[*globalrt.Runtime, globalrt.Frame](g, n) },
+		mcssNative},
+	{"primes", false, 40_000,
+		func(t *mpl.Task, n int) int64 { return primesRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return primesRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		primesNative},
+	{"integrate", false, 300_000,
+		func(t *mpl.Task, n int) int64 { return integrateRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return integrateRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		integrateNative},
+	{"nqueens", false, 9,
+		func(t *mpl.Task, n int) int64 { return nqueensRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return nqueensRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		nqueensNative},
+	{"msort", false, 30_000,
+		func(t *mpl.Task, n int) int64 { return msortRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 { return msortRT[*globalrt.Runtime, globalrt.Frame](g, n) },
+		msortNative},
+	{"quickhull", false, 20_000,
+		func(t *mpl.Task, n int) int64 { return quickhullRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return quickhullRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		quickhullNative},
+	{"tokens", false, 200_000,
+		func(t *mpl.Task, n int) int64 { return tokensRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return tokensRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		tokensNative},
+	{"wc", false, 200_000,
+		func(t *mpl.Task, n int) int64 { return wcRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 { return wcRT[*globalrt.Runtime, globalrt.Frame](g, n) },
+		wcNative},
+	{"spmv", false, 2000,
+		func(t *mpl.Task, n int) int64 { return spmvRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 { return spmvRT[*globalrt.Runtime, globalrt.Frame](g, n) },
+		spmvNative},
+
+	{"dedup", true, 20_000,
+		func(t *mpl.Task, n int) int64 { return dedupRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 { return dedupRT[*globalrt.Runtime, globalrt.Frame](g, n) },
+		dedupNative},
+	{"bfs", true, 20_000,
+		func(t *mpl.Task, n int) int64 { return bfsRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 { return bfsRT[*globalrt.Runtime, globalrt.Frame](g, n) },
+		bfsNative},
+	{"counter", true, 20_000,
+		func(t *mpl.Task, n int) int64 { return counterRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return counterRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		counterNative},
+	{"memoize", true, 50_000,
+		func(t *mpl.Task, n int) int64 { return memoizeRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return memoizeRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		memoizeNative},
+	{"pipeline", true, 30_000,
+		func(t *mpl.Task, n int) int64 { return pipelineRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return pipelineRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		pipelineNative},
+
+	{"grep", false, 200_000,
+		func(t *mpl.Task, n int) int64 { return grepRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 { return grepRT[*globalrt.Runtime, globalrt.Frame](g, n) },
+		grepNative},
+	{"histogram", false, 100_000,
+		func(t *mpl.Task, n int) int64 { return histRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 { return histRT[*globalrt.Runtime, globalrt.Frame](g, n) },
+		histNative},
+	{"filter", false, 200_000,
+		func(t *mpl.Task, n int) int64 { return filterRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return filterRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		filterNative},
+	{"treesum", false, 15, // n is the tree height: 2^15 leaves
+		func(t *mpl.Task, n int) int64 { return treesumRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return treesumRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		treesumNative},
+	{"matmul", false, 64, // n is the matrix dimension
+		func(t *mpl.Task, n int) int64 { return matmulRT[*mpl.Task, mpl.Frame](t, n) },
+		func(g *globalrt.Runtime, n int) int64 {
+			return matmulRT[*globalrt.Runtime, globalrt.Frame](g, n)
+		},
+		matmulNative},
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names lists benchmark names in registry order.
+func Names() []string {
+	out := make([]string, len(All))
+	for i, b := range All {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// parSum evaluates leaf over subranges of [lo, hi) in parallel and sums
+// the results; a building block for reductions.
+func parSum[T RT[T, F], F FrameI](t T, lo, hi, grain int, leaf func(t T, lo, hi int) int64) int64 {
+	if hi-lo <= grain {
+		return leaf(t, lo, hi)
+	}
+	mid := lo + (hi-lo)/2
+	a, b := t.Par(
+		func(t T) mem.Value { return mem.Int(parSum[T, F](t, lo, mid, grain, leaf)) },
+		func(t T) mem.Value { return mem.Int(parSum[T, F](t, mid, hi, grain, leaf)) },
+	)
+	return a.AsInt() + b.AsInt()
+}
+
+// loadInts materializes xs as a heap array, filling in parallel (the
+// writes are immediates into an ancestor array: barrier-free). Keeping the
+// load parallel keeps input setup off the recorded critical path, as the
+// paper's benchmarks do.
+func loadInts[T RT[T, F], F FrameI](t T, xs []int64) mem.Ref {
+	f := t.NewFrame(1)
+	f.Set(0, t.AllocArray(len(xs), mem.Int(0)).Value())
+	t.ParFor(0, len(xs), 8192, func(t T, lo, hi int) {
+		arr := f.Ref(0)
+		for i := lo; i < hi; i++ {
+			t.Write(arr, i, mem.Int(xs[i]))
+		}
+	})
+	arr := f.Ref(0)
+	f.Pop()
+	return arr
+}

@@ -1,0 +1,361 @@
+package bench
+
+import (
+	"runtime"
+
+	"mplgo/internal/mem"
+	"mplgo/internal/workload"
+)
+
+// The entangled benchmarks communicate through shared mutable state across
+// concurrent tasks: bucket heads, memo slots and counter cells hold
+// pointers to objects allocated by whichever task got there first, so other
+// tasks' reads are entangled reads that the runtime must pin. Under
+// detect-and-abort MPL all of these programs abort; under management they
+// run with cost proportional to the entanglement (experiment T4).
+
+// parCollect maps leaf over chunks of items in parallel and concatenates
+// the results deterministically (split order).
+func parCollect[T RT[T, F], F FrameI](t T, items []int32, grain int, leaf func(t T, vs []int32) []int32) []int32 {
+	if len(items) <= grain {
+		return leaf(t, items)
+	}
+	mid := len(items) / 2
+	var l, r []int32
+	t.Par(
+		func(t T) mem.Value { l = parCollect[T, F](t, items[:mid], grain, leaf); return mem.Nil },
+		func(t T) mem.Value { r = parCollect[T, F](t, items[mid:], grain, leaf); return mem.Nil },
+	)
+	return append(l, r...)
+}
+
+// ---------------------------------------------------------------- dedup
+// Concurrent hash set: tasks insert strings into shared buckets of
+// CAS-linked list nodes. Walking a bucket reads nodes allocated by
+// concurrent tasks (entangled); insertion publishes nodes by down-pointer
+// CAS into the shared bucket array.
+
+const (
+	dedupBuckets = 512
+	dedupGrain   = 512
+)
+
+func fnv(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// strEqRT compares a heap string object against a Go string.
+func strEqRT[T RT[T, F], F FrameI](t T, ref mem.Ref, s string) bool {
+	if t.StrLen(ref) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if t.ByteOf(ref, i) != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	ss := workload.Strings(seedDedup, n, n/10+1)
+	// The bucket array lives in this task's heap; leaves reach it through
+	// the frame so the reference stays current across collections even
+	// when a leaf runs on this task itself.
+	fb := t.NewFrame(1)
+	fb.Set(0, t.AllocArray(dedupBuckets, mem.Nil).Value())
+	sum := parSum[T, F](t, 0, n, dedupGrain, func(t T, lo, hi int) int64 {
+		var added int64
+	insertLoop:
+		for i := lo; i < hi; i++ {
+			s := ss[i]
+			b := int(fnv(s) % dedupBuckets)
+			for {
+				head := t.Read(fb.Ref(0), b)
+				// Walk the bucket; nodes may belong to concurrent tasks.
+				for cur := head; cur.IsRef(); {
+					node := cur.Ref()
+					if strEqRT[T, F](t, t.Read(node, 0).Ref(), s) {
+						continue insertLoop // duplicate
+					}
+					cur = t.Read(node, 1)
+				}
+				// Not found: allocate and publish. The head must stay
+				// rooted across the allocations (a collection of our own
+				// heap may move our earlier nodes).
+				f := t.NewFrame(1)
+				f.Set(0, head)
+				sr := t.AllocString(s)
+				node := t.AllocTuple(sr.Value(), f.Get(0))
+				head = f.Get(0)
+				f.Pop()
+				if t.CAS(fb.Ref(0), b, head, node.Value()) {
+					added++
+					continue insertLoop
+				}
+				// Lost the race (or our collection relocated the head);
+				// re-walk the bucket.
+			}
+		}
+		return added
+	})
+	fb.Pop()
+	return sum
+}
+
+func dedupNative(n int) int64 {
+	ss := workload.Strings(seedDedup, n, n/10+1)
+	seen := make(map[string]bool, n)
+	var added int64
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			added++
+		}
+	}
+	return added
+}
+
+// ---------------------------------------------------------------- bfs
+// Level-synchronous breadth-first search. Each discovered vertex gets a
+// record allocated by the discovering task and published by CAS into a
+// shared array; processing a vertex reads its record — entangled when a
+// concurrent sibling discovered it. Distances are level numbers, so the
+// result is deterministic despite racy discovery.
+
+const (
+	bfsDegree = 4
+	bfsGrain  = 256
+)
+
+func bfsRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	adj := workload.Graph(seedGraph, n, bfsDegree)
+
+	// All record-array accesses go through the frame: the array lives in
+	// this task's heap, and the level-1 leaf runs on this task itself, so
+	// its allocations can relocate the array mid-leaf.
+	f := t.NewFrame(1)
+	f.Set(0, t.AllocArray(n, mem.Nil).Value())
+	r0 := t.AllocTuple(mem.Int(0))
+	t.Write(f.Ref(0), 0, r0.Value())
+
+	frontier := []int32{0}
+	level := 0
+	for len(frontier) > 0 {
+		level++
+		lv := int64(level)
+		frontier = parCollect[T, F](t, frontier, bfsGrain, func(t T, vs []int32) []int32 {
+			var out []int32
+			for _, v := range vs {
+				// Read our own record (entangled when a concurrent task
+				// discovered v in the previous level).
+				rec := t.Read(f.Ref(0), int(v))
+				if !rec.IsRef() || t.Read(rec.Ref(), 0).AsInt() != lv-1 {
+					// The record must exist and carry the previous level.
+					panic("bench: bfs record invariant violated")
+				}
+				for _, u := range adj[v] {
+					if !t.Read(f.Ref(0), int(u)).IsNil() {
+						continue
+					}
+					box := t.AllocTuple(mem.Int(lv))
+					if t.CAS(f.Ref(0), int(u), mem.Nil, box.Value()) {
+						out = append(out, u)
+					}
+				}
+			}
+			return out
+		})
+	}
+	sum := parSum[T, F](t, 0, n, bfsGrain, func(t T, lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			rec := t.Read(f.Ref(0), i)
+			if rec.IsRef() {
+				s += t.Read(rec.Ref(), 0).AsInt() + 1
+			}
+		}
+		return s
+	})
+	f.Pop()
+	return sum
+}
+
+func bfsNative(n int) int64 {
+	adj := workload.Graph(seedGraph, n, bfsDegree)
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	var s int64
+	for _, d := range dist {
+		if d >= 0 {
+			s += d + 1
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------- counter
+// Functional shared counters: each cell holds a pointer to an immutable
+// boxed count; an increment reads the current box (entangled when another
+// task wrote it), allocates a new box, and CASes the cell. The sum of the
+// final boxes equals the number of increments — lost updates would show.
+
+const (
+	counterCells = 64
+	counterGrain = 256
+)
+
+func counterRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	f := t.NewFrame(1)
+	f.Set(0, t.AllocArray(counterCells, mem.Nil).Value())
+	for i := 0; i < counterCells; i++ {
+		box := t.AllocTuple(mem.Int(0))
+		t.Write(f.Ref(0), i, box.Value())
+	}
+
+	t.ParFor(0, n, counterGrain, func(t T, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			slot := i % counterCells
+			for {
+				b := t.Read(f.Ref(0), slot)
+				v := t.Read(b.Ref(), 0).AsInt()
+				nb := t.AllocTuple(mem.Int(v + 1))
+				if t.CAS(f.Ref(0), slot, b, nb.Value()) {
+					break
+				}
+				// Lost the race or our own collection moved the old box;
+				// retry against the current cell contents.
+			}
+		}
+	})
+
+	var sum int64
+	for i := 0; i < counterCells; i++ {
+		sum += t.Read(t.Read(f.Ref(0), i).Ref(), 0).AsInt()
+	}
+	f.Pop()
+	return sum
+}
+
+func counterNative(n int) int64 { return int64(n) }
+
+// ---------------------------------------------------------------- memoize
+// A shared write-once memo table for a pure recurrence: racing tasks may
+// recompute an entry, but the first published box wins and every reader
+// sees the same pure value. Cross-task box reads are entangled.
+
+const memoGrain = 512
+
+func memoBase(i int64) int64 { return integrand(i)&0xFF + 1 }
+
+func memoizeRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	f := t.NewFrame(1)
+	f.Set(0, t.AllocArray(n, mem.Nil).Value())
+
+	var h func(t T, i int) int64
+	h = func(t T, i int) int64 {
+		if i <= 0 {
+			return 1
+		}
+		if v := t.Read(f.Ref(0), i); v.IsRef() {
+			return t.Read(v.Ref(), 0).AsInt()
+		}
+		val := memoBase(int64(i)) + h(t, i/2) + h(t, i/3)
+		box := t.AllocTuple(mem.Int(val))
+		t.CAS(f.Ref(0), i, mem.Nil, box.Value()) // first writer wins
+		return val
+	}
+
+	sum := parSum[T, F](t, 1, n, memoGrain, func(t T, lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += h(t, i)
+		}
+		return s
+	})
+	f.Pop()
+	return sum
+}
+
+func memoizeNative(n int) int64 {
+	memo := make([]int64, n)
+	var h func(i int) int64
+	h = func(i int) int64 {
+		if i <= 0 {
+			return 1
+		}
+		if memo[i] != 0 {
+			return memo[i]
+		}
+		v := memoBase(int64(i)) + h(i/2) + h(i/3)
+		memo[i] = v
+		return v
+	}
+	var s int64
+	for i := 1; i < n; i++ {
+		s += h(i)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------- pipeline
+// Producer/consumer over write-once cells (I-structures): the producer
+// publishes boxed values by down-pointer writes; the consumer spins until
+// each cell fills — every successful read is entangled while the producer
+// is a live sibling, so the boxes pin and unpin at the join.
+
+func pipelineItem(i int64) int64 { return i*3 + 1 }
+
+func pipelineRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	f := t.NewFrame(1)
+	f.Set(0, t.AllocArray(n, mem.Nil).Value())
+	_, consumed := t.Par(
+		func(t T) mem.Value {
+			for i := 0; i < n; i++ {
+				box := t.AllocTuple(mem.Int(pipelineItem(int64(i))))
+				t.Write(f.Ref(0), i, box.Value())
+			}
+			return mem.Nil
+		},
+		func(t T) mem.Value {
+			var sum int64
+			for i := 0; i < n; i++ {
+				v := t.Read(f.Ref(0), i)
+				for !v.IsRef() {
+					runtime.Gosched()
+					v = t.Read(f.Ref(0), i)
+				}
+				sum += t.Read(v.Ref(), 0).AsInt()*2 + 1
+			}
+			return mem.Int(sum)
+		},
+	)
+	f.Pop()
+	return consumed.AsInt()
+}
+
+func pipelineNative(n int) int64 {
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += pipelineItem(int64(i))*2 + 1
+	}
+	return sum
+}

@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"mplgo/internal/mem"
+	"mplgo/internal/workload"
+)
+
+// Additional suite entries beyond the core fifteen, mirroring the breadth
+// of the paper's PBBS-derived benchmark list: text search, histogramming,
+// parallel filtering with a scan, pointer-heavy tree folding, and dense
+// linear algebra.
+
+const (
+	seedGrep   = 108
+	seedHist   = 109
+	seedFilter = 110
+	seedTree   = 111
+	seedMatmul = 112
+)
+
+// ---------------------------------------------------------------- grep
+// Counts occurrences (possibly overlapping) of a fixed pattern in a text,
+// in parallel over chunks with boundary overlap.
+
+const grepPattern = "abra"
+
+func grepText(n int) string {
+	// Seeded text with the pattern sprinkled in deterministically.
+	base := []byte(workload.Text(seedGrep, n))
+	rng := workload.NewRNG(seedGrep + 1)
+	for i := 0; i+len(grepPattern) < len(base); i += 50 + rng.Intn(200) {
+		copy(base[i:], grepPattern)
+	}
+	return string(base)
+}
+
+func grepRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	text := grepText(n)
+	str := t.AllocString(text)
+	ln := t.StrLen(str)
+	m := len(grepPattern)
+	return parSum[T, F](t, 0, ln, textGrain, func(t T, lo, hi int) int64 {
+		var c int64
+		for i := lo; i < hi && i+m <= ln; i++ {
+			ok := true
+			for j := 0; j < m; j++ {
+				if t.ByteOf(str, i+j) != grepPattern[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				c++
+			}
+		}
+		return c
+	})
+}
+
+func grepNative(n int) int64 {
+	text := grepText(n)
+	var c int64
+	for i := 0; i+len(grepPattern) <= len(text); i++ {
+		if text[i:i+len(grepPattern)] == grepPattern {
+			c++
+		}
+	}
+	return c
+}
+
+// ---------------------------------------------------------------- histogram
+// Bins values into a shared count array with CAS increments. The counts
+// are immediates, so despite heavy cross-task sharing this is
+// *disentangled* — no pointers to concurrent data ever flow — which makes
+// it a good witness for the shielding claim under contention.
+
+const histBins = 128
+
+func histRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	xs := workload.Ints(seedHist, n, 1<<30)
+	f := t.NewFrame(1)
+	f.Set(0, t.AllocArray(histBins, mem.Int(0)).Value())
+	t.ParFor(0, n, 1024, func(t T, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bin := int(xs[i] % histBins)
+			for {
+				old := t.Read(f.Ref(0), bin)
+				if t.CAS(f.Ref(0), bin, old, mem.Int(old.AsInt()+1)) {
+					break
+				}
+			}
+		}
+	})
+	var sum int64
+	for i := 0; i < histBins; i++ {
+		sum += t.Read(f.Ref(0), i).AsInt() * int64(i+1)
+	}
+	f.Pop()
+	return sum
+}
+
+func histNative(n int) int64 {
+	xs := workload.Ints(seedHist, n, 1<<30)
+	var bins [histBins]int64
+	for _, x := range xs {
+		bins[x%histBins]++
+	}
+	var sum int64
+	for i, c := range bins {
+		sum += c * int64(i+1)
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------- filter
+// Parallel filter in the PBBS style: a flags pass, an exclusive prefix sum
+// over per-block counts, and a pack pass into an exactly-sized output.
+
+const filterGrain = 4096
+
+func filterKeep(x int64) bool { return x%3 == 0 }
+
+func filterRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	xs := workload.Ints(seedFilter, n, 1<<40)
+	f := t.NewFrame(2)
+	f.Set(0, loadInts[T, F](t, xs).Value())
+
+	// Per-block counts.
+	nblocks := (n + filterGrain - 1) / filterGrain
+	counts := make([]int64, nblocks)
+	t.ParFor(0, nblocks, 1, func(t T, lo, hi int) {
+		in := f.Ref(0)
+		for b := lo; b < hi; b++ {
+			var c int64
+			end := min((b+1)*filterGrain, n)
+			for i := b * filterGrain; i < end; i++ {
+				if filterKeep(t.Read(in, i).AsInt()) {
+					c++
+				}
+			}
+			counts[b] = c
+		}
+	})
+	// Exclusive scan (sequential: nblocks is tiny relative to n).
+	var total int64
+	offsets := make([]int64, nblocks)
+	for b, c := range counts {
+		offsets[b] = total
+		total += c
+	}
+	// Pack.
+	f.Set(1, t.AllocArray(int(total), mem.Int(0)).Value())
+	t.ParFor(0, nblocks, 1, func(t T, lo, hi int) {
+		in, out := f.Ref(0), f.Ref(1)
+		for b := lo; b < hi; b++ {
+			k := offsets[b]
+			end := min((b+1)*filterGrain, n)
+			for i := b * filterGrain; i < end; i++ {
+				v := t.Read(in, i)
+				if filterKeep(v.AsInt()) {
+					t.Write(out, int(k), v)
+					k++
+				}
+			}
+		}
+	})
+	// Checksum over the packed output.
+	sum := parSum[T, F](t, 0, int(total), filterGrain, func(t T, lo, hi int) int64 {
+		out := f.Ref(1)
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += t.Read(out, i).AsInt() % 1_000_003
+		}
+		return s
+	})
+	f.Pop()
+	return sum + total
+}
+
+func filterNative(n int) int64 {
+	xs := workload.Ints(seedFilter, n, 1<<40)
+	var sum, total int64
+	for _, x := range xs {
+		if filterKeep(x) {
+			sum += x % 1_000_003
+			total++
+		}
+	}
+	return sum + total
+}
+
+// ---------------------------------------------------------------- treesum
+// Builds a balanced binary tree of boxed leaves in parallel (pointer-heavy
+// allocation across child heaps, merged up at joins), then folds it in
+// parallel. Exercises deep cross-heap up-pointer structure under GC.
+
+const treeGrain = 10 // subtree height below which building is sequential
+
+func treeVal(i int64) int64 { return integrand(i)*7 + 1 }
+
+func treesumRT[T RT[T, F], F FrameI](t T, height int) int64 {
+	// build returns a tree of 2^h leaves covering [base, base+2^h).
+	var build func(t T, h int, base int64) mem.Ref
+	build = func(t T, h int, base int64) mem.Ref {
+		if h == 0 {
+			return t.AllocTuple(mem.Int(1), mem.Int(treeVal(base)))
+		}
+		if h <= treeGrain {
+			l := build(t, h-1, base)
+			f := t.NewFrame(1)
+			f.Set(0, l.Value())
+			r := build(t, h-1, base+1<<uint(h-1))
+			node := t.AllocTuple(mem.Int(0), f.Get(0), r.Value())
+			f.Pop()
+			return node
+		}
+		lv, rv := t.Par(
+			func(t T) mem.Value { return build(t, h-1, base).Value() },
+			func(t T) mem.Value { return build(t, h-1, base+1<<uint(h-1)).Value() },
+		)
+		return t.AllocTuple(mem.Int(0), lv, rv)
+	}
+	var fold func(t T, node mem.Ref, h int) int64
+	fold = func(t T, node mem.Ref, h int) int64 {
+		if t.Read(node, 0).AsInt() == 1 {
+			return t.Read(node, 1).AsInt()
+		}
+		l := t.Read(node, 1).Ref()
+		r := t.Read(node, 2).Ref()
+		if h <= treeGrain {
+			return fold(t, l, h-1) + fold(t, r, h-1)
+		}
+		a, b := t.Par(
+			func(t T) mem.Value { return mem.Int(fold(t, l, h-1)) },
+			func(t T) mem.Value { return mem.Int(fold(t, r, h-1)) },
+		)
+		return a.AsInt() + b.AsInt()
+	}
+	root := build(t, height, 0)
+	return fold(t, root, height)
+}
+
+func treesumNative(height int) int64 {
+	var rec func(h int, base int64) int64
+	rec = func(h int, base int64) int64 {
+		if h == 0 {
+			return treeVal(base)
+		}
+		return rec(h-1, base) + rec(h-1, base+1<<uint(h-1))
+	}
+	return rec(height, 0)
+}
+
+// ---------------------------------------------------------------- matmul
+// Dense n×n integer matrix product, rows in parallel.
+
+func matmulRT[T RT[T, F], F FrameI](t T, n int) int64 {
+	a := workload.Ints(seedMatmul, n*n, 100)
+	bm := workload.Ints(seedMatmul+1, n*n, 100)
+	f := t.NewFrame(3)
+	f.Set(0, loadInts[T, F](t, a).Value())
+	f.Set(1, loadInts[T, F](t, bm).Value())
+	f.Set(2, t.AllocArray(n*n, mem.Int(0)).Value())
+	t.ParFor(0, n, 4, func(t T, lo, hi int) {
+		ha, hb, hc := f.Ref(0), f.Ref(1), f.Ref(2)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				var s int64
+				for k := 0; k < n; k++ {
+					s += t.Read(ha, i*n+k).AsInt() * t.Read(hb, k*n+j).AsInt()
+				}
+				t.Write(hc, i*n+j, mem.Int(s))
+			}
+		}
+	})
+	sum := parSum[T, F](t, 0, n*n, 4096, func(t T, lo, hi int) int64 {
+		hc := f.Ref(2)
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += t.Read(hc, i).AsInt() % 1_000_003
+		}
+		return s
+	})
+	f.Pop()
+	return sum
+}
+
+func matmulNative(n int) int64 {
+	a := workload.Ints(seedMatmul, n*n, 100)
+	bm := workload.Ints(seedMatmul+1, n*n, 100)
+	var sum int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s int64
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * bm[k*n+j]
+			}
+			sum += s % 1_000_003
+		}
+	}
+	return sum
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package core
+
+import "mplgo/internal/mem"
+
+// Allocation. Every allocating call may trigger a local collection first;
+// reference arguments to these calls are protected automatically (they are
+// parked in a transient frame around the collection), but any other live
+// references the caller holds must be in Frames.
+
+// guardedGC runs a pending collection while keeping vs updated as roots.
+// It returns the (possibly relocated) values.
+func (t *Task) guardedGC(vs []mem.Value) {
+	if t.rt.cfg.DisableGC || t.sinceGC < t.rt.cfg.HeapBudgetWords {
+		return
+	}
+	f := t.NewFrame(len(vs))
+	for i, v := range vs {
+		f.Set(i, v)
+	}
+	t.collectNow()
+	for i := range vs {
+		vs[i] = f.Get(i)
+	}
+	f.Pop()
+}
+
+func (t *Task) bumpAlloc(words int64) {
+	t.sinceGC += words
+	t.Work(allocCost(words))
+}
+
+// allocCost is the abstract cost of an allocation for the simulator's
+// work accounting. Small objects cost their size (header writes and
+// initialization); large arrays cost far less than their size because
+// chunk acquisition is O(1) and zeroing is amortized across chunk reuse —
+// charging the full size would put a spurious serial segment on the
+// recorded critical path.
+func allocCost(words int64) int64 {
+	const linear = 256
+	if words <= linear {
+		return words
+	}
+	return linear + (words-linear)/32
+}
+
+// AllocTuple allocates an immutable tuple of vs.
+func (t *Task) AllocTuple(vs ...mem.Value) mem.Ref {
+	t.guardedGC(vs)
+	r := t.alloc.AllocTuple(vs...)
+	t.bumpAlloc(int64(len(vs)) + 1)
+	return r
+}
+
+// AllocArray allocates a mutable array of n slots initialized to v.
+func (t *Task) AllocArray(n int, v mem.Value) mem.Ref {
+	vs := [1]mem.Value{v}
+	t.guardedGC(vs[:])
+	r := t.alloc.AllocArray(n, vs[0])
+	t.bumpAlloc(int64(n) + 1)
+	return r
+}
+
+// AllocRef allocates a mutable ref cell holding v (ML's `ref v`).
+func (t *Task) AllocRef(v mem.Value) mem.Ref {
+	vs := [1]mem.Value{v}
+	t.guardedGC(vs[:])
+	r := t.alloc.AllocRef(vs[0])
+	t.bumpAlloc(2)
+	return r
+}
+
+// AllocString allocates an immutable string object.
+func (t *Task) AllocString(s string) mem.Ref {
+	t.guardedGC(nil)
+	r := t.alloc.AllocString(s)
+	t.bumpAlloc(int64(2 + (len(s)+7)/8))
+	return r
+}
+
+// StringOf decodes a string object.
+func (t *Task) StringOf(r mem.Ref) string { return t.rt.space.LoadString(r) }
+
+// ByteOf reads byte i of a string object without materializing the string.
+func (t *Task) ByteOf(r mem.Ref, i int) byte {
+	t.Work(costAccess)
+	return byte(t.rt.space.LoadRaw(r, 1+i/8) >> (8 * (i % 8)))
+}
+
+// StrLen returns the byte length of a string object.
+func (t *Task) StrLen(r mem.Ref) int { return int(t.rt.space.LoadRaw(r, 0)) }
+
+// Length returns the payload length of the object at r: tuple arity, array
+// length, 1 for ref cells.
+func (t *Task) Length(r mem.Ref) int { return t.rt.space.Header(r).Len() }
+
+// Read loads payload word i of o through the read barrier.
+//
+// Fast path: one load plus one header test. If the holder is an
+// entanglement candidate and the loaded value is a reference, the slow path
+// classifies the edge and pins the target when it proves entangled.
+func (t *Task) Read(o mem.Ref, i int) mem.Value {
+	t.Work(costAccess)
+	v := t.rt.space.Load(o, i)
+	if t.barriers && v.IsRef() && t.rt.space.Header(o).Candidate() {
+		nv, err := t.rt.ent.OnRead(t.heap, o, i, v)
+		if err != nil {
+			t.rt.fail(err)
+		}
+		t.Work(costSlowRead)
+		return nv
+	}
+	return v
+}
+
+// Write stores v into payload word i of o through the write barrier.
+// Same-heap stores are free; cross-heap stores record down-pointers or pin
+// published objects (see package entangle).
+func (t *Task) Write(o mem.Ref, i int, v mem.Value) {
+	t.Work(costAccess)
+	sp := t.rt.space
+	if t.barriers && v.IsRef() && sp.HeapOf(v.Ref()) != sp.HeapOf(o) {
+		if err := t.rt.ent.OnWrite(t.heap, o, i, v.Ref()); err != nil {
+			t.rt.fail(err)
+		}
+	}
+	sp.Store(o, i, v)
+}
+
+// Deref reads a ref cell (ML's `!r`).
+func (t *Task) Deref(cell mem.Ref) mem.Value { return t.Read(cell, 0) }
+
+// Assign writes a ref cell (ML's `r := v`).
+func (t *Task) Assign(cell mem.Ref, v mem.Value) { t.Write(cell, 0, v) }
+
+// CAS performs an atomic compare-and-swap on payload word i of o, through
+// the write barrier. It returns whether the swap happened. This backs the
+// concurrent data structures of the entangled benchmarks.
+func (t *Task) CAS(o mem.Ref, i int, old, new mem.Value) bool {
+	t.Work(costAccess)
+	sp := t.rt.space
+	if t.barriers && new.IsRef() && sp.HeapOf(new.Ref()) != sp.HeapOf(o) {
+		if err := t.rt.ent.OnWrite(t.heap, o, i, new.Ref()); err != nil {
+			t.rt.fail(err)
+		}
+	}
+	return sp.CAS(o, i, old, new)
+}

@@ -1,0 +1,152 @@
+// Package core assembles the runtime: the scheduler (sched), heap
+// hierarchy (hierarchy), entanglement manager (entangle), and local
+// collector (gc) behind a Task API with the barriers of the paper:
+//
+//   - Task.Read carries the read barrier: a single candidate-bit test on
+//     the fast path, the entanglement slow path (pin/validate) otherwise.
+//   - Task.Write carries the write barrier: same-heap stores are free;
+//     cross-heap stores classify the edge (up/down/cross) and record
+//     down-pointers or pin published objects.
+//   - Task.Par forks child heaps mirroring the task tree and merges them
+//     at joins, unpinning entangled objects whose unpin depth is reached.
+//   - Allocation is per-task bump allocation; when a task's allocation
+//     budget is exhausted it collects its exclusive heap suffix (LGC).
+//
+// Package mpl re-exports this API as the library's public surface.
+package core
+
+import (
+	"sync"
+
+	"mplgo/internal/entangle"
+	"mplgo/internal/gc"
+	"mplgo/internal/hierarchy"
+	"mplgo/internal/mem"
+	"mplgo/internal/sched"
+	"mplgo/internal/sim"
+)
+
+// Abstract cost constants for the simulator's work accounting.
+const (
+	costAccess   = 1  // one barriered read or write
+	costSlowRead = 30 // entanglement slow path (lock, ancestry, pin)
+	costGCWord   = 1  // per word copied by a collection
+	costFork     = 40 // heap creation + scheduling at a fork
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Procs is the number of scheduler workers. Default 1.
+	Procs int
+	// Mode selects entanglement handling (manage / detect / unsafe).
+	Mode entangle.Mode
+	// LazyHeaps materializes child heaps only at steals, as MPL does for
+	// performance; the default (false) creates heaps at every fork, which
+	// gives the paper's object-level semantics deterministically.
+	LazyHeaps bool
+	// HeapBudgetWords triggers a local collection when a task has
+	// allocated this many words since the last one. Default 1<<17.
+	HeapBudgetWords int64
+	// DisableGC turns off local collections (the heaps only grow).
+	DisableGC bool
+	// Record captures the fork–join DAG with abstract costs for the
+	// simulator (package sim).
+	Record bool
+	// Seed makes scheduling decisions reproducible.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Procs < 1 {
+		c.Procs = 1
+	}
+	if c.HeapBudgetWords <= 0 {
+		c.HeapBudgetWords = 1 << 17
+	}
+}
+
+// Runtime is one instance of the hierarchical-heap runtime. A Runtime
+// executes one computation via Run; create a fresh Runtime per computation.
+type Runtime struct {
+	cfg   Config
+	space *mem.Space
+	tree  *hierarchy.Tree
+	ent   *entangle.Manager
+	col   *gc.Collector
+	pool  *sched.Pool
+	trace *sim.Node
+
+	errMu sync.Mutex
+	err   error
+}
+
+// New creates a runtime.
+func New(cfg Config) *Runtime {
+	cfg.fill()
+	r := &Runtime{cfg: cfg, space: mem.NewSpace(), tree: hierarchy.New()}
+	r.ent = entangle.New(r.space, r.tree, cfg.Mode)
+	r.col = gc.New(r.space, r.tree)
+	r.pool = sched.NewPool(cfg.Procs, cfg.Seed)
+	if cfg.Record {
+		r.trace = sim.NewTrace()
+	}
+	return r
+}
+
+// Run executes f as the root task and returns its result. If the runtime
+// is in Detect mode and the program entangled, the first entanglement error
+// is returned (the paper's baseline MPL would abort here; we complete the
+// run safely and surface the error).
+func (r *Runtime) Run(f func(*Task) mem.Value) (mem.Value, error) {
+	var out mem.Value
+	r.pool.Run(func(w *sched.Worker) {
+		t := r.newTask(w, r.tree.Root(), r.trace)
+		out = f(t)
+		t.finish()
+	})
+	return out, r.Err()
+}
+
+// Err returns the first entanglement error recorded (Detect mode).
+func (r *Runtime) Err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}
+
+func (r *Runtime) fail(err error) {
+	if err == nil {
+		return
+	}
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+}
+
+// Space exposes the simulated heap (for checkers and experiments).
+func (r *Runtime) Space() *mem.Space { return r.space }
+
+// Tree exposes the heap hierarchy (for experiments).
+func (r *Runtime) Tree() *hierarchy.Tree { return r.tree }
+
+// EntStats returns the entanglement cost metrics.
+func (r *Runtime) EntStats() entangle.StatsSnapshot { return r.ent.Stats.Snapshot() }
+
+// GCStats reports collection totals.
+func (r *Runtime) GCStats() (collections, copiedWords, reclaimedWords int64) {
+	return r.col.Collections, r.col.CopiedWords, r.col.ReclaimedWords
+}
+
+// Trace returns the recorded DAG, or nil if recording was off.
+func (r *Runtime) Trace() *sim.Node { return r.trace }
+
+// Steals reports total scheduler steals.
+func (r *Runtime) Steals() int64 { return r.pool.TotalSteals() }
+
+// MaxLiveWords reports the space high-water mark (max residency).
+func (r *Runtime) MaxLiveWords() int64 { return r.space.MaxLiveWords() }
+
+// Mode returns the runtime's entanglement mode.
+func (r *Runtime) Mode() entangle.Mode { return r.cfg.Mode }

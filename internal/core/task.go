@@ -1,0 +1,245 @@
+package core
+
+import (
+	"mplgo/internal/entangle"
+	"mplgo/internal/gc"
+	"mplgo/internal/hierarchy"
+	"mplgo/internal/mem"
+	"mplgo/internal/sched"
+	"mplgo/internal/sim"
+)
+
+// Task is a strand of the fork–join computation. Tasks are not safe for
+// concurrent use: each task belongs to the worker executing it. All heap
+// access must go through the task so the entanglement barriers run.
+//
+// GC discipline: local collections move objects, and they happen only
+// inside allocation calls. Any mem.Ref a program holds in Go variables
+// across an allocation must be registered in a Frame (see NewFrame);
+// arguments passed *to* allocation calls are protected automatically.
+type Task struct {
+	rt    *Runtime
+	w     *sched.Worker
+	heap  *hierarchy.Heap
+	alloc *mem.Allocator
+	slots []mem.Value // shadow stack; visited by collections as roots
+	node  *sim.Node   // current recording segment (nil when not recording)
+
+	sinceGC  int64
+	barriers bool
+}
+
+func (r *Runtime) newTask(w *sched.Worker, h *hierarchy.Heap, node *sim.Node) *Task {
+	t := &Task{
+		rt:       r,
+		w:        w,
+		heap:     h,
+		alloc:    mem.NewAllocator(r.space, h.ID),
+		node:     node,
+		barriers: r.cfg.Mode != entangle.Unsafe,
+	}
+	h.AddRootSet(t)
+	return t
+}
+
+// finish detaches the task from its heap at the end of its strand.
+func (t *Task) finish() {
+	t.syncChunks()
+	t.heap.RemoveRootSet(t)
+}
+
+// syncChunks adopts the allocator's chunks into the task's heap so
+// collections and merges see them.
+func (t *Task) syncChunks() {
+	if len(t.alloc.Chunks) > 0 {
+		t.heap.Chunks = append(t.heap.Chunks, t.alloc.Chunks...)
+		t.alloc.Chunks = t.alloc.Chunks[:0]
+	}
+}
+
+// Roots implements hierarchy.RootSet over the shadow stack.
+func (t *Task) Roots(visit func(*mem.Value)) {
+	for i := range t.slots {
+		visit(&t.slots[i])
+	}
+}
+
+// Work records n units of abstract computational cost for the simulator's
+// work/span accounting. Benchmark kernels call this for their arithmetic.
+func (t *Task) Work(n int64) {
+	if t.node != nil {
+		t.node.Work += n
+	}
+}
+
+// Runtime returns the runtime this task belongs to.
+func (t *Task) Runtime() *Runtime { return t.rt }
+
+// Depth returns the task's heap depth.
+func (t *Task) Depth() int { return t.heap.Depth() }
+
+// maybeGC collects the task's exclusive heap suffix if the allocation
+// budget is spent. Must be called before—never after—allocating the object
+// the caller is about to hand out.
+func (t *Task) maybeGC() {
+	if t.rt.cfg.DisableGC || t.sinceGC < t.rt.cfg.HeapBudgetWords {
+		return
+	}
+	t.collectNow()
+}
+
+// collectNow unconditionally attempts a local collection of the task's own
+// leaf heap.
+//
+// MPL's LGC may collect the whole exclusively-owned heap suffix (see
+// hierarchy.ExclusiveSuffix) because it can scan the ML stacks of suspended
+// ancestor tasks. In this embedding a suspended ancestor's Go locals are
+// invisible to the collector, so only the current task's heap — whose owner
+// is provably at an allocation safepoint with its live references framed —
+// is safe to move. Joined children have already merged their chunks into
+// this heap, so their garbage is still reclaimed here.
+func (t *Task) collectNow() {
+	t.syncChunks()
+	if t.heap.LiveChildren() != 0 || t.heap.PendingForks.Load() != 0 {
+		// An outstanding fork runs (or may run) in this heap and holds
+		// unscannable references into it; retry after more allocation
+		// rather than on every call.
+		t.sinceGC = t.rt.cfg.HeapBudgetWords / 2
+		return
+	}
+	res := t.rt.col.Collect([]*hierarchy.Heap{t.heap})
+	t.alloc.Retarget(t.heap.ID)
+	t.Work(res.CopiedWords * costGCWord)
+	t.sinceGC = 0
+}
+
+// Par evaluates f and g in parallel and returns both results. Child heaps
+// are created under the task's heap (at every fork by default, at steals in
+// lazy mode) and merged back at the join.
+//
+// The returned values are safe to use until the task's next allocation;
+// register references in a Frame before allocating.
+func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
+	t.syncChunks()
+	var lnode, rnode, anode *sim.Node
+	if t.node != nil {
+		t.node.Work += costFork
+		lnode, rnode, anode = t.node.Fork()
+	}
+	var lv, rv mem.Value
+	if t.rt.cfg.LazyHeaps {
+		var rheap *hierarchy.Heap
+		saved := t.node
+		t.heap.PendingForks.Add(1)
+		defer t.heap.PendingForks.Add(-1)
+		t.w.ForkJoin(
+			func(w *sched.Worker) {
+				t.node = lnode
+				lv = f(t)
+			},
+			func(w *sched.Worker, stolen bool) {
+				if stolen {
+					rheap = t.rt.tree.Fork(t.heap)
+					gt := t.rt.newTask(w, rheap, rnode)
+					rv = g(gt)
+					gt.finish()
+				} else {
+					t.node = rnode
+					rv = g(t)
+				}
+			},
+		)
+		t.node = saved
+		t.syncChunks()
+		if rheap != nil {
+			t.rt.ent.OnJoin(rheap, t.heap)
+		}
+	} else {
+		lheap := t.rt.tree.Fork(t.heap)
+		rheap := t.rt.tree.Fork(t.heap)
+		t.w.ForkJoin(
+			func(w *sched.Worker) {
+				lt := t.rt.newTask(w, lheap, lnode)
+				lv = f(lt)
+				lt.finish()
+			},
+			func(w *sched.Worker, stolen bool) {
+				gt := t.rt.newTask(w, rheap, rnode)
+				rv = g(gt)
+				gt.finish()
+			},
+		)
+		t.rt.ent.OnJoin(lheap, t.heap)
+		t.rt.ent.OnJoin(rheap, t.heap)
+	}
+	if anode != nil {
+		t.node = anode
+	}
+	return lv, rv
+}
+
+// ParFor runs body over [lo, hi) in parallel, splitting ranges in half
+// until they are at most grain wide.
+func (t *Task) ParFor(lo, hi, grain int, body func(t *Task, lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		body(t, lo, hi)
+		return
+	}
+	mid := lo + (hi-lo)/2
+	t.Par(
+		func(t *Task) mem.Value { t.ParFor(lo, mid, grain, body); return mem.Nil },
+		func(t *Task) mem.Value { t.ParFor(mid, hi, grain, body); return mem.Nil },
+	)
+}
+
+// Frame is a window of the task's shadow stack: the values placed in a
+// frame are GC roots and are updated in place when collections move
+// objects. Frames are strictly LIFO.
+type Frame struct {
+	t    *Task
+	base int
+	n    int
+}
+
+// NewFrame pushes a frame of n root slots (initialized to Nil).
+func (t *Task) NewFrame(n int) Frame {
+	base := len(t.slots)
+	for i := 0; i < n; i++ {
+		t.slots = append(t.slots, mem.Nil)
+	}
+	return Frame{t: t, base: base, n: n}
+}
+
+// Set stores v in slot i.
+func (f Frame) Set(i int, v mem.Value) {
+	if i < 0 || i >= f.n {
+		panic("core: frame index out of range")
+	}
+	f.t.slots[f.base+i] = v
+}
+
+// Get returns the current value of slot i (updated by collections).
+func (f Frame) Get(i int) mem.Value { return f.t.slots[f.base+i] }
+
+// Ref returns slot i as a reference.
+func (f Frame) Ref(i int) mem.Ref { return f.Get(i).Ref() }
+
+// Pop releases the frame. Frames must be popped in LIFO order.
+func (f Frame) Pop() {
+	if len(f.t.slots) != f.base+f.n {
+		panic("core: non-LIFO frame pop")
+	}
+	f.t.slots = f.t.slots[:f.base]
+}
+
+// ValidateHeaps traces the live object graph from every live heap's roots
+// and checks heap integrity (see gc.Validate). A testing aid: call it at a
+// quiescent point, e.g. at the end of a computation while frames still
+// root the data of interest.
+func (t *Task) ValidateHeaps() error {
+	t.syncChunks()
+	return gc.Validate(t.rt.space, t.rt.tree.Live())
+}

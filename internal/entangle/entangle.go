@@ -1,0 +1,268 @@
+// Package entangle implements the paper's primary contribution: managing
+// entanglement at the granularity of memory objects, so that programs with
+// unrestricted effects run correctly on a hierarchical heap while
+// disentangled objects are shielded from the cost.
+//
+// Terminology (paper §2–4):
+//
+//   - A *down-pointer* is a pointer stored into an object of a shallower
+//     heap, pointing at an object of a deeper heap on the same path.
+//   - An object is an *entanglement candidate* (header candidate bit) when
+//     reading through it may yield a pointer to a concurrent heap: either a
+//     down-pointer was written into it, or it was itself acquired through
+//     an entangled read. Reads of non-candidate objects take the fast path
+//     — a single header test — which is how disentangled data stays cheap.
+//   - An *entangled read* occurs when a task dereferences a pointer whose
+//     target lives in a heap that is not an ancestor of the task's leaf.
+//     The target is *pinned*: the moving local collector may neither
+//     relocate nor reclaim it until its *unpin depth* — the depth of the
+//     least common ancestor of the reader and the target's heap — is
+//     reached by joins.
+//   - An *entangled write* stores a pointer into an object of a concurrent
+//     heap, publishing the target to that side; the target is pinned
+//     immediately, since concurrent readers may acquire it at any time.
+package entangle
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"mplgo/internal/hierarchy"
+	"mplgo/internal/mem"
+)
+
+// Mode selects how the runtime responds to entanglement.
+type Mode int
+
+const (
+	// Manage pins entangled objects and lets the program proceed: the
+	// paper's contribution.
+	Manage Mode = iota
+	// Detect reports entanglement as an error, reproducing the behavior of
+	// MPL before this paper (detect-and-abort). For memory safety the
+	// manager still pins on detection — execution unwinds cooperatively
+	// rather than stopping the world — but the computation's result is
+	// replaced by the error, which is the observable "abort".
+	Detect
+	// Unsafe disables the barriers entirely; only meaningful for
+	// disentangled programs, used by the ablation experiments to price
+	// the barrier fast paths.
+	Unsafe
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Manage:
+		return "manage"
+	case Detect:
+		return "detect"
+	case Unsafe:
+		return "unsafe"
+	}
+	return "invalid"
+}
+
+// ErrEntangled is returned (wrapped) when Mode is Detect and the program
+// entangles.
+var ErrEntangled = errors.New("entanglement detected")
+
+// Stats holds the paper's entanglement cost metrics.
+type Stats struct {
+	DownPointers    atomic.Int64 // down-pointer writes remembered
+	Candidates      atomic.Int64 // objects newly marked candidate
+	EntangledReads  atomic.Int64 // reads that found a concurrent object
+	EntangledWrites atomic.Int64 // writes into concurrent objects
+	SlowReads       atomic.Int64 // reads that took the slow path at all
+	Pins            atomic.Int64 // objects newly pinned
+	Unpins          atomic.Int64 // objects unpinned at joins
+	PinnedNow       atomic.Int64 // currently pinned objects (gauge)
+	PinnedPeak      atomic.Int64 // high-water mark of PinnedNow
+}
+
+func (s *Stats) pinned(delta int64) {
+	now := s.PinnedNow.Add(delta)
+	for {
+		peak := s.PinnedPeak.Load()
+		if now <= peak || s.PinnedPeak.CompareAndSwap(peak, now) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a plain-struct copy for reporting.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		DownPointers:    s.DownPointers.Load(),
+		Candidates:      s.Candidates.Load(),
+		EntangledReads:  s.EntangledReads.Load(),
+		EntangledWrites: s.EntangledWrites.Load(),
+		SlowReads:       s.SlowReads.Load(),
+		Pins:            s.Pins.Load(),
+		Unpins:          s.Unpins.Load(),
+		PinnedPeak:      s.PinnedPeak.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	DownPointers    int64
+	Candidates      int64
+	EntangledReads  int64
+	EntangledWrites int64
+	SlowReads       int64
+	Pins            int64
+	Unpins          int64
+	PinnedPeak      int64
+}
+
+// Manager coordinates entanglement bookkeeping for one runtime instance.
+type Manager struct {
+	Space *mem.Space
+	Tree  *hierarchy.Tree
+	Mode  Mode
+	Stats Stats
+}
+
+// New creates a manager.
+func New(space *mem.Space, tree *hierarchy.Tree, mode Mode) *Manager {
+	return &Manager{Space: space, Tree: tree, Mode: mode}
+}
+
+// heapOf returns the live heap currently owning r.
+func (m *Manager) heapOf(r mem.Ref) *hierarchy.Heap {
+	return m.Tree.Get(m.Space.HeapOf(r))
+}
+
+// OnWrite performs the write-barrier bookkeeping for storing the reference
+// x into payload word i of object o, by a task whose leaf heap is leaf.
+// It must run BEFORE the raw store: the candidate bit must be visible to
+// any reader that can observe the new pointer. The caller has already
+// filtered the same-heap fast path and non-reference values.
+func (m *Manager) OnWrite(leaf *hierarchy.Heap, o mem.Ref, i int, x mem.Ref) error {
+	oh := m.heapOf(o)
+	xh := m.heapOf(x)
+	if oh == xh {
+		return nil
+	}
+	switch {
+	case m.Tree.IsAncestor(xh, oh):
+		// Up-pointer: always disentangled, nothing to record.
+		return nil
+	case m.Tree.IsAncestor(oh, xh):
+		// Down-pointer: remember it for collections of xh's suffix, and
+		// mark the holder so reads through it take the slow path. The
+		// candidate bit is set before the caller's store, so a reader
+		// that sees the new pointer also sees the bit (both are
+		// sequentially consistent atomics).
+		if m.Space.SetCandidate(o) {
+			m.Stats.Candidates.Add(1)
+		}
+		xh.AddRemembered(o, i)
+		m.Stats.DownPointers.Add(1)
+		return nil
+	default:
+		// Cross-pointer: either o lives in a heap concurrent with the
+		// writer (it was itself acquired through entanglement), or o is
+		// the writer's own object receiving a pointer to a concurrent
+		// one. Storing x publishes it: pin x now, because the other side
+		// can read it without further synchronization — and mark the
+		// holder, so reads through it take the slow path (the holder now
+		// contains an entangled pointer, making it a candidate by the
+		// paper's definition).
+		if m.Space.SetCandidate(o) {
+			m.Stats.Candidates.Add(1)
+		}
+		m.Stats.EntangledWrites.Add(1)
+		unpin := m.Tree.LCA(oh, xh).Depth()
+		if u := m.Tree.LCA(leaf, xh).Depth(); u < unpin {
+			unpin = u
+		}
+		m.pinLocked(x, unpin)
+		if m.Mode == Detect {
+			return fmt.Errorf("write into concurrent object %v: %w", o, ErrEntangled)
+		}
+		return nil
+	}
+}
+
+// OnRead performs the read-barrier slow path: the holder o is a candidate
+// and the loaded value v is a reference. It returns the (possibly updated)
+// value to use: if a local collection moved the target between the caller's
+// load and our pin, the re-read under the heap lock yields the object's
+// current location.
+func (m *Manager) OnRead(leaf *hierarchy.Heap, o mem.Ref, i int, v mem.Value) (mem.Value, error) {
+	m.Stats.SlowReads.Add(1)
+	for {
+		x := v.Ref()
+		xh := m.heapOf(x)
+		if m.Tree.IsAncestor(xh, leaf) {
+			// Disentangled: the target is on our root-to-leaf path.
+			return v, nil
+		}
+		// Entangled read. Lock the target heap to serialize against its
+		// owner's local collection, then validate that the field still
+		// holds the value we loaded (the collection updates remembered
+		// fields before releasing the lock).
+		xh.Mu.Lock()
+		cur := m.Space.Load(o, i)
+		if cur != v || m.Space.HeapOf(x) != xh.ID {
+			xh.Mu.Unlock()
+			if !cur.IsRef() {
+				return cur, nil
+			}
+			v = cur
+			continue
+		}
+		m.Stats.EntangledReads.Add(1)
+		unpin := m.Tree.LCA(leaf, xh).Depth()
+		if m.Space.Pin(x, unpin) {
+			m.Stats.Pins.Add(1)
+			m.pinned(1)
+			xh.AddPinned(x)
+		}
+		// Mark the acquired object so our reads *through* it also take
+		// the slow path; anything it leads to is concurrent with us.
+		if m.Space.SetCandidate(x) {
+			m.Stats.Candidates.Add(1)
+		}
+		xh.Mu.Unlock()
+		if m.Mode == Detect {
+			return v, fmt.Errorf("read of concurrent object %v: %w", x, ErrEntangled)
+		}
+		return v, nil
+	}
+}
+
+// pinLocked pins x under its heap's lock (entangled-write path).
+func (m *Manager) pinLocked(x mem.Ref, unpin int) {
+	for {
+		xh := m.heapOf(x)
+		xh.Mu.Lock()
+		if m.Space.HeapOf(x) != xh.ID {
+			xh.Mu.Unlock()
+			continue // heap merged underneath us; retry against the new owner
+		}
+		if m.Space.Pin(x, unpin) {
+			m.Stats.Pins.Add(1)
+			m.pinned(1)
+			xh.AddPinned(x)
+		}
+		if m.Space.SetCandidate(x) {
+			m.Stats.Candidates.Add(1)
+		}
+		xh.Mu.Unlock()
+		return
+	}
+}
+
+func (m *Manager) pinned(d int64) { m.Stats.pinned(d) }
+
+// OnJoin merges child into parent and records unpin statistics.
+func (m *Manager) OnJoin(child, parent *hierarchy.Heap) {
+	n := m.Tree.Merge(child, parent, m.Space)
+	if n > 0 {
+		m.Stats.Unpins.Add(int64(n))
+		m.pinned(int64(-n))
+	}
+}

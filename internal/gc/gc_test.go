@@ -1,0 +1,459 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+
+	"mplgo/internal/hierarchy"
+	"mplgo/internal/mem"
+)
+
+type roots struct{ refs []mem.Ref }
+
+func (f *roots) Roots(visit func(*mem.Value)) {
+	for i := range f.refs {
+		v := f.refs[i].Value()
+		visit(&v)
+		if v.IsRef() {
+			f.refs[i] = v.Ref()
+		}
+	}
+}
+
+type world struct {
+	sp *mem.Space
+	tr *hierarchy.Tree
+	c  *Collector
+}
+
+func newWorld() *world {
+	w := &world{sp: mem.NewSpace(), tr: hierarchy.New()}
+	w.c = New(w.sp, w.tr)
+	return w
+}
+
+// heapAlloc pairs an allocator with its heap and keeps chunk adoption tidy.
+type heapAlloc struct {
+	h  *hierarchy.Heap
+	al *mem.Allocator
+	w  *world
+}
+
+func (w *world) onHeap(h *hierarchy.Heap) *heapAlloc {
+	return &heapAlloc{h: h, al: mem.NewAllocator(w.sp, h.ID), w: w}
+}
+
+func (ha *heapAlloc) adopt() {
+	ha.h.Chunks = append(ha.h.Chunks, ha.al.Chunks...)
+	ha.al.Chunks = nil
+}
+
+func TestCollectReclaimsGarbage(t *testing.T) {
+	w := newWorld()
+	leaf := w.tr.Fork(w.tr.Root())
+	ha := w.onHeap(leaf)
+
+	live := ha.al.AllocTuple(mem.Int(1), mem.Int(2))
+	for i := 0; i < 3*mem.ChunkWords/4; i++ {
+		ha.al.AllocTuple(mem.Int(int64(i)), mem.Int(0)) // garbage
+	}
+	ha.adopt()
+	rs := &roots{refs: []mem.Ref{live}}
+	leaf.AddRootSet(rs)
+
+	before := w.sp.LiveWords()
+	res := w.c.Collect(w.tr.ExclusiveSuffix(leaf))
+	if res.CopiedObjects != 1 {
+		t.Fatalf("CopiedObjects = %d, want 1", res.CopiedObjects)
+	}
+	if w.sp.LiveWords() >= before {
+		t.Fatal("collection did not reclaim space")
+	}
+	moved := rs.refs[0]
+	if moved == live {
+		t.Fatal("live object was not moved (root not updated?)")
+	}
+	if w.sp.Load(moved, 0).AsInt() != 1 || w.sp.Load(moved, 1).AsInt() != 2 {
+		t.Fatal("live object corrupted by copy")
+	}
+	if w.sp.HeapOf(moved) != leaf.ID {
+		t.Fatal("copy left its heap")
+	}
+	if res.ReclaimedWords <= 0 {
+		t.Fatal("ReclaimedWords not positive")
+	}
+}
+
+func TestCollectPreservesLinkedStructure(t *testing.T) {
+	w := newWorld()
+	leaf := w.tr.Fork(w.tr.Root())
+	ha := w.onHeap(leaf)
+
+	// Build list 9 → 8 → ... → 0 → nil, with garbage interleaved.
+	head := mem.Nil
+	for i := 0; i < 10; i++ {
+		ha.al.AllocArray(50, mem.Int(0)) // garbage
+		head = ha.al.AllocTuple(mem.Int(int64(i)), head).Value()
+	}
+	ha.adopt()
+	rs := &roots{refs: []mem.Ref{head.Ref()}}
+	leaf.AddRootSet(rs)
+
+	res := w.c.Collect(w.tr.ExclusiveSuffix(leaf))
+	if res.CopiedObjects != 10 {
+		t.Fatalf("CopiedObjects = %d, want 10", res.CopiedObjects)
+	}
+	// Walk the copied list.
+	cur := rs.refs[0].Value()
+	for i := 9; i >= 0; i-- {
+		if !cur.IsRef() {
+			t.Fatalf("list truncated at %d", i)
+		}
+		if got := w.sp.Load(cur.Ref(), 0).AsInt(); got != int64(i) {
+			t.Fatalf("list[%d] = %d", i, got)
+		}
+		cur = w.sp.Load(cur.Ref(), 1)
+	}
+	if !cur.IsNil() {
+		t.Fatal("list tail not nil")
+	}
+}
+
+func TestCollectHandlesCycles(t *testing.T) {
+	w := newWorld()
+	leaf := w.tr.Fork(w.tr.Root())
+	ha := w.onHeap(leaf)
+	a := ha.al.AllocArray(2, mem.Nil)
+	b := ha.al.AllocArray(2, mem.Nil)
+	w.sp.Store(a, 0, b.Value())
+	w.sp.Store(b, 0, a.Value())
+	w.sp.Store(a, 1, mem.Int(11))
+	w.sp.Store(b, 1, mem.Int(22))
+	ha.adopt()
+	rs := &roots{refs: []mem.Ref{a}}
+	leaf.AddRootSet(rs)
+
+	res := w.c.Collect(w.tr.ExclusiveSuffix(leaf))
+	if res.CopiedObjects != 2 {
+		t.Fatalf("CopiedObjects = %d, want 2", res.CopiedObjects)
+	}
+	na := rs.refs[0]
+	nb := w.sp.Load(na, 0).Ref()
+	if w.sp.Load(nb, 0).Ref() != na {
+		t.Fatal("cycle broken by collection")
+	}
+	if w.sp.Load(na, 1).AsInt() != 11 || w.sp.Load(nb, 1).AsInt() != 22 {
+		t.Fatal("cycle payload corrupted")
+	}
+}
+
+func TestSharedObjectCopiedOnce(t *testing.T) {
+	w := newWorld()
+	leaf := w.tr.Fork(w.tr.Root())
+	ha := w.onHeap(leaf)
+	shared := ha.al.AllocTuple(mem.Int(5))
+	p := ha.al.AllocTuple(shared.Value(), shared.Value())
+	ha.adopt()
+	rs := &roots{refs: []mem.Ref{p}}
+	leaf.AddRootSet(rs)
+
+	res := w.c.Collect(w.tr.ExclusiveSuffix(leaf))
+	if res.CopiedObjects != 2 {
+		t.Fatalf("CopiedObjects = %d, want 2 (sharing must be preserved)", res.CopiedObjects)
+	}
+	np := rs.refs[0]
+	if w.sp.Load(np, 0) != w.sp.Load(np, 1) {
+		t.Fatal("sharing destroyed: the two fields diverged")
+	}
+}
+
+func TestRemsetRoot(t *testing.T) {
+	w := newWorld()
+	root := w.tr.Root()
+	leaf := w.tr.Fork(root)
+	rootHA := w.onHeap(root)
+	leafHA := w.onHeap(leaf)
+
+	holder := rootHA.al.AllocArray(1, mem.Nil) // outside scope
+	target := leafHA.al.AllocTuple(mem.Int(77))
+	w.sp.SetCandidate(holder)
+	w.sp.Store(holder, 0, target.Value())
+	leaf.AddRemembered(holder, 0)
+	rootHA.adopt()
+	leafHA.adopt()
+
+	// No shadow-stack roots at all: only the remset keeps target alive.
+	res := w.c.Collect([]*hierarchy.Heap{leaf})
+	if res.CopiedObjects != 1 {
+		t.Fatalf("CopiedObjects = %d, want 1", res.CopiedObjects)
+	}
+	nv := w.sp.Load(holder, 0)
+	if !nv.IsRef() || nv.Ref() == target {
+		t.Fatal("holder field not updated to the new location")
+	}
+	if w.sp.Load(nv.Ref(), 0).AsInt() != 77 {
+		t.Fatal("target corrupted")
+	}
+	// The external entry must survive the rebuild for future collections.
+	if len(leaf.Remset) != 1 {
+		t.Fatalf("rebuilt remset = %v", leaf.Remset)
+	}
+	// And a second collection must work off the rebuilt entry.
+	res = w.c.Collect([]*hierarchy.Heap{leaf})
+	if res.CopiedObjects != 1 {
+		t.Fatalf("second collection CopiedObjects = %d", res.CopiedObjects)
+	}
+	if w.sp.Load(w.sp.Load(holder, 0).Ref(), 0).AsInt() != 77 {
+		t.Fatal("target lost in second collection")
+	}
+}
+
+func TestDeadRemsetEntryDropped(t *testing.T) {
+	w := newWorld()
+	root := w.tr.Root()
+	leaf := w.tr.Fork(root)
+	rootHA := w.onHeap(root)
+	leafHA := w.onHeap(leaf)
+
+	holder := rootHA.al.AllocArray(1, mem.Nil)
+	target := leafHA.al.AllocTuple(mem.Int(1))
+	w.sp.Store(holder, 0, target.Value())
+	leaf.AddRemembered(holder, 0)
+	// Overwrite the field: the down-pointer is gone.
+	w.sp.Store(holder, 0, mem.Int(42))
+	rootHA.adopt()
+	leafHA.adopt()
+
+	res := w.c.Collect([]*hierarchy.Heap{leaf})
+	if res.CopiedObjects != 0 {
+		t.Fatal("dead target kept alive by stale remset entry")
+	}
+	if len(leaf.Remset) != 0 {
+		t.Fatal("stale entry not dropped")
+	}
+}
+
+func TestPinnedNotMoved(t *testing.T) {
+	w := newWorld()
+	leaf := w.tr.Fork(w.tr.Root())
+	ha := w.onHeap(leaf)
+
+	pinned := ha.al.AllocArray(2, mem.Nil)
+	child := ha.al.AllocTuple(mem.Int(33)) // reachable only from pinned
+	w.sp.Store(pinned, 0, child.Value())
+	ha.adopt()
+	w.sp.Pin(pinned, 0)
+	leaf.Mu.Lock()
+	leaf.AddPinned(pinned)
+	leaf.Mu.Unlock()
+
+	res := w.c.Collect(w.tr.ExclusiveSuffix(leaf))
+	if res.PinnedTraced != 1 {
+		t.Fatalf("PinnedTraced = %d", res.PinnedTraced)
+	}
+	// The pinned object stayed put (no forwarding header).
+	if _, fwd := w.sp.Forwarded(pinned); fwd {
+		t.Fatal("pinned object was moved")
+	}
+	if !w.sp.Header(pinned).Pinned() {
+		t.Fatal("pin bit lost")
+	}
+	if w.sp.Header(pinned).Marked() {
+		t.Fatal("transient mark not cleared")
+	}
+	// Its child was copied and the field updated.
+	nv := w.sp.Load(pinned, 0)
+	if !nv.IsRef() || nv.Ref() == child {
+		t.Fatal("pinned object's field not forwarded")
+	}
+	if w.sp.Load(nv.Ref(), 0).AsInt() != 33 {
+		t.Fatal("pinned-reachable object corrupted")
+	}
+	if res.RetainedChunks == 0 {
+		t.Fatal("chunk holding the pin must be retained")
+	}
+}
+
+func TestPinnedChunkRetainedThenReclaimedAfterUnpin(t *testing.T) {
+	w := newWorld()
+	leaf := w.tr.Fork(w.tr.Root())
+	ha := w.onHeap(leaf)
+	pinned := ha.al.AllocRef(mem.Int(1))
+	ha.adopt()
+	w.sp.Pin(pinned, 0)
+	leaf.Mu.Lock()
+	leaf.AddPinned(pinned)
+	leaf.Mu.Unlock()
+
+	res := w.c.Collect(w.tr.ExclusiveSuffix(leaf))
+	if res.RetainedChunks != 1 {
+		t.Fatalf("RetainedChunks = %d, want 1", res.RetainedChunks)
+	}
+
+	// Unpin (as a join would) and collect again: now the chunk frees and
+	// the unreferenced object dies.
+	w.sp.Unpin(pinned)
+	leaf.Pinned = nil
+	before := w.sp.LiveWords()
+	res = w.c.Collect(w.tr.ExclusiveSuffix(leaf))
+	if res.RetainedChunks != 0 {
+		t.Fatal("chunk still retained after unpin")
+	}
+	if w.sp.LiveWords() > before {
+		t.Fatal("space grew after unpin collection")
+	}
+}
+
+func TestMultiHeapSuffix(t *testing.T) {
+	w := newWorld()
+	root := w.tr.Root()
+	mid := w.tr.Fork(root)
+	leaf := w.tr.Fork(mid)
+	midHA := w.onHeap(mid)
+	leafHA := w.onHeap(leaf)
+
+	up := midHA.al.AllocTuple(mem.Int(1)) // in mid
+	holder := midHA.al.AllocArray(1, mem.Nil)
+	down := leafHA.al.AllocTuple(mem.Int(2)) // in leaf
+	w.sp.SetCandidate(holder)
+	w.sp.Store(holder, 0, down.Value())
+	leaf.AddRemembered(holder, 0)
+	midHA.adopt()
+	leafHA.adopt()
+
+	rs := &roots{refs: []mem.Ref{up, holder}}
+	leaf.AddRootSet(rs)
+
+	suffix := w.tr.ExclusiveSuffix(leaf)
+	if len(suffix) != 3 {
+		t.Fatalf("suffix length = %d", len(suffix))
+	}
+	res := w.c.Collect(suffix)
+	if res.CopiedObjects != 3 {
+		t.Fatalf("CopiedObjects = %d, want 3", res.CopiedObjects)
+	}
+	// Heap membership is preserved across the copy.
+	if w.sp.HeapOf(rs.refs[0]) != mid.ID {
+		t.Fatal("mid object changed heap")
+	}
+	nDown := w.sp.Load(rs.refs[1], 0).Ref()
+	if w.sp.HeapOf(nDown) != leaf.ID {
+		t.Fatal("leaf object changed heap")
+	}
+	// The internal down-pointer was re-derived into leaf's remset with the
+	// holder's NEW address.
+	if len(leaf.Remset) != 1 || leaf.Remset[0].Holder != rs.refs[1] {
+		t.Fatalf("re-derived remset = %v (holder now %v)", leaf.Remset, rs.refs[1])
+	}
+}
+
+func TestRawObjectSurvives(t *testing.T) {
+	w := newWorld()
+	leaf := w.tr.Fork(w.tr.Root())
+	ha := w.onHeap(leaf)
+	s := ha.al.AllocString("the quick brown fox")
+	ha.adopt()
+	rs := &roots{refs: []mem.Ref{s}}
+	leaf.AddRootSet(rs)
+	w.c.Collect(w.tr.ExclusiveSuffix(leaf))
+	if got := w.sp.LoadString(rs.refs[0]); got != "the quick brown fox" {
+		t.Fatalf("string corrupted: %q", got)
+	}
+}
+
+func TestCandidateBitSurvivesCopy(t *testing.T) {
+	w := newWorld()
+	leaf := w.tr.Fork(w.tr.Root())
+	ha := w.onHeap(leaf)
+	o := ha.al.AllocArray(1, mem.Int(1))
+	w.sp.SetCandidate(o)
+	ha.adopt()
+	rs := &roots{refs: []mem.Ref{o}}
+	leaf.AddRootSet(rs)
+	w.c.Collect(w.tr.ExclusiveSuffix(leaf))
+	if !w.sp.Header(rs.refs[0]).Candidate() {
+		t.Fatal("candidate bit lost in copy")
+	}
+}
+
+func TestEmptyScope(t *testing.T) {
+	w := newWorld()
+	if res := w.c.Collect(nil); res.ScopeHeaps != 0 {
+		t.Fatal("empty scope must be a no-op")
+	}
+}
+
+// TestRandomGraphsPreserved builds random object graphs, snapshots the
+// reachable structure, collects, and verifies the structure is isomorphic.
+func TestRandomGraphsPreserved(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := newWorld()
+		leaf := w.tr.Fork(w.tr.Root())
+		ha := w.onHeap(leaf)
+
+		// Random objects with random int fields and random back-pointers.
+		var objs []mem.Ref
+		for i := 0; i < 200; i++ {
+			n := 1 + rng.Intn(4)
+			o := ha.al.AllocArray(n, mem.Nil)
+			for j := 0; j < n; j++ {
+				if len(objs) > 0 && rng.Intn(2) == 0 {
+					w.sp.Store(o, j, objs[rng.Intn(len(objs))].Value())
+				} else {
+					w.sp.Store(o, j, mem.Int(int64(rng.Intn(1000))))
+				}
+			}
+			objs = append(objs, o)
+		}
+		ha.adopt()
+		// A few random roots.
+		rs := &roots{}
+		for i := 0; i < 5; i++ {
+			rs.refs = append(rs.refs, objs[rng.Intn(len(objs))])
+		}
+		leaf.AddRootSet(rs)
+
+		var snapshot func(r mem.Ref, seen map[mem.Ref]int, out *[]int64)
+		snapshot = func(r mem.Ref, seen map[mem.Ref]int, out *[]int64) {
+			if id, ok := seen[r]; ok {
+				*out = append(*out, int64(-1000000-id))
+				return
+			}
+			seen[r] = len(seen)
+			h := w.sp.Header(r)
+			*out = append(*out, int64(h.Len()))
+			for i := 0; i < h.Len(); i++ {
+				v := w.sp.Load(r, i)
+				if v.IsRef() {
+					snapshot(v.Ref(), seen, out)
+				} else if v.IsNil() {
+					*out = append(*out, -999)
+				} else {
+					*out = append(*out, v.AsInt())
+				}
+			}
+		}
+		var before []int64
+		seen := map[mem.Ref]int{}
+		for _, r := range rs.refs {
+			snapshot(r, seen, &before)
+		}
+
+		w.c.Collect(w.tr.ExclusiveSuffix(leaf))
+
+		var after []int64
+		seen = map[mem.Ref]int{}
+		for _, r := range rs.refs {
+			snapshot(r, seen, &after)
+		}
+		if len(before) != len(after) {
+			t.Fatalf("seed %d: snapshot lengths differ: %d vs %d", seed, len(before), len(after))
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("seed %d: snapshots differ at %d: %d vs %d", seed, i, before[i], after[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package hierarchy maintains the tree of heaps that mirrors the fork–join
+// task tree, the central structure of hierarchical heap memory management.
+//
+// Each task owns a leaf heap; forks create child heaps and joins merge a
+// child back into its parent. Heap identity is carried by chunks (package
+// mem), so a merge reassigns chunk ownership without visiting objects.
+// Ancestor queries — the core primitive of the entanglement barriers — are
+// answered in O(1) with an Euler-tour interval test over an
+// order-maintenance list (package order).
+package hierarchy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mplgo/internal/mem"
+	"mplgo/internal/order"
+)
+
+// RootSet enumerates mutable values that must be treated as GC roots.
+// The callback receives the address of each root slot so collectors can
+// update it when objects move; non-reference values are left untouched.
+// Implemented by the runtime's shadow-stack frames.
+type RootSet interface {
+	Roots(visit func(*mem.Value))
+}
+
+// RememberedEntry records a down-pointer: Holder's payload word Index may
+// point into the heap holding the entry. Collections of that heap read the
+// field through Holder to find (and forward) the target.
+type RememberedEntry struct {
+	Holder mem.Ref
+	Index  int
+}
+
+// Heap is one node of the heap hierarchy.
+type Heap struct {
+	ID     uint32
+	parent *Heap
+	depth  int
+
+	pre, post *order.Elem // Euler-tour interval; guarded by Tree.mu
+
+	// Mu serializes the entanglement slow path (pinning objects in this
+	// heap, remembered-set appends from foreign writers) against this
+	// heap's local collections.
+	Mu sync.Mutex
+
+	// Chunks are the chunks currently owned by this heap. Mutated only by
+	// the owning task (allocation, collection, merging of its children).
+	Chunks []*mem.Chunk
+
+	// Remset holds down-pointer entries whose targets may live in this
+	// heap. Guarded by Mu when appended by foreign tasks.
+	Remset []RememberedEntry
+
+	// Pinned lists pinned objects residing in this heap. Guarded by Mu.
+	Pinned []mem.Ref
+
+	// RootSets are the shadow stacks of tasks attached to this heap: the
+	// owning task and any suspended ancestors of the current leaf.
+	RootSets []RootSet
+
+	// liveChildren counts forked child heaps that have not merged back.
+	// A chain of heaps with liveChildren <= 1 ending at the current leaf
+	// is exclusively owned and thus locally collectible.
+	liveChildren atomic.Int32
+
+	// PendingForks counts outstanding forks whose branches run in this
+	// heap itself (lazy-heap mode, branch not stolen). Their captured
+	// references are invisible to the collector, so the heap must not be
+	// collected while any are outstanding.
+	PendingForks atomic.Int32
+
+	// Dead marks heaps that merged into their parent.
+	Dead bool
+
+	// Stats
+	Collections int   // local collections rooted at this heap
+	CopiedWords int64 // words copied by those collections
+}
+
+// Depth returns the heap's depth (root = 0).
+func (h *Heap) Depth() int { return h.depth }
+
+// Parent returns the heap's parent, or nil for the root.
+func (h *Heap) Parent() *Heap { return h.parent }
+
+// LiveChildren returns the number of unjoined child heaps.
+func (h *Heap) LiveChildren() int { return int(h.liveChildren.Load()) }
+
+// AddRootSet attaches a shadow stack to the heap.
+func (h *Heap) AddRootSet(rs RootSet) { h.RootSets = append(h.RootSets, rs) }
+
+// RemoveRootSet detaches a shadow stack from the heap.
+func (h *Heap) RemoveRootSet(rs RootSet) {
+	for i, x := range h.RootSets {
+		if x == rs {
+			h.RootSets = append(h.RootSets[:i], h.RootSets[i+1:]...)
+			return
+		}
+	}
+}
+
+// AddRemembered records a down-pointer entry. Safe for concurrent use.
+func (h *Heap) AddRemembered(holder mem.Ref, index int) {
+	h.Mu.Lock()
+	h.Remset = append(h.Remset, RememberedEntry{holder, index})
+	h.Mu.Unlock()
+}
+
+// AddPinned records a pinned object residing in this heap.
+// The caller must hold h.Mu (the entanglement slow path does).
+func (h *Heap) AddPinned(r mem.Ref) { h.Pinned = append(h.Pinned, r) }
+
+// Tree is the heap hierarchy.
+type Tree struct {
+	mu    sync.RWMutex // guards the order list and structural edits
+	order *order.List
+	heaps []*Heap // id -> heap; id 0 unused
+	root  *Heap
+
+	// UseWalkAncestor switches ancestor queries to naive parent walking,
+	// for the AblateAncestor experiment.
+	UseWalkAncestor bool
+}
+
+// New creates a hierarchy containing only the root heap.
+func New() *Tree {
+	t := &Tree{order: order.NewList()}
+	t.heaps = make([]*Heap, 1, 64)
+	root := &Heap{ID: 1, depth: 0}
+	root.pre = t.order.Base().InsertAfter()
+	root.post = root.pre.InsertAfter()
+	t.heaps = append(t.heaps, root)
+	t.root = root
+	return t
+}
+
+// Root returns the root heap.
+func (t *Tree) Root() *Heap { return t.root }
+
+// Get returns the heap with the given id.
+func (t *Tree) Get(id uint32) *Heap {
+	t.mu.RLock()
+	h := t.heaps[id]
+	t.mu.RUnlock()
+	return h
+}
+
+// Count returns the number of heaps ever created.
+func (t *Tree) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.heaps) - 1
+}
+
+// Live returns all heaps that have not merged away.
+func (t *Tree) Live() []*Heap {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Heap
+	for _, h := range t.heaps[1:] {
+		if !h.Dead {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Fork creates a new child heap of parent.
+func (t *Tree) Fork(parent *Heap) *Heap {
+	t.mu.Lock()
+	h := &Heap{ID: uint32(len(t.heaps)), parent: parent, depth: parent.depth + 1}
+	// Nest the child's Euler interval immediately inside the parent's pre
+	// visit; sibling intervals stack leftward, which preserves nesting.
+	h.pre = parent.pre.InsertAfter()
+	h.post = h.pre.InsertAfter()
+	t.heaps = append(t.heaps, h)
+	t.mu.Unlock()
+	parent.liveChildren.Add(1)
+	return h
+}
+
+// IsAncestor reports whether a is an ancestor of (or equal to) d.
+func (t *Tree) IsAncestor(a, d *Heap) bool {
+	if a == d {
+		return true
+	}
+	if t.UseWalkAncestor {
+		for x := d; x != nil; x = x.parent {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+	t.mu.RLock()
+	ok := order.Leq(a.pre, d.pre) && order.Leq(d.post, a.post)
+	t.mu.RUnlock()
+	return ok
+}
+
+// LCA returns the least common ancestor of a and b.
+func (t *Tree) LCA(a, b *Heap) *Heap {
+	for x := a; x != nil; x = x.parent {
+		if t.IsAncestor(x, b) {
+			return x
+		}
+	}
+	return t.root
+}
+
+// Merge folds child into parent at a join: chunk ownership, remembered
+// sets, pinned objects, and root sets all move up; pinned objects whose
+// unpin depth has been reached are unpinned. The caller is the task owning
+// parent (joins are serialized per parent by fork–join structure).
+//
+// space is needed to flip chunk owners and unpin headers.
+func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int) {
+	if child.parent != parent {
+		panic("hierarchy: merge of non-child")
+	}
+	// Take both locks so entangled readers never observe a half-merged
+	// heap. Lock order: parent before child (consistent with depth).
+	parent.Mu.Lock()
+	child.Mu.Lock()
+
+	for _, c := range child.Chunks {
+		c.SetHeapID(parent.ID)
+	}
+	parent.Chunks = append(parent.Chunks, child.Chunks...)
+	child.Chunks = nil
+
+	parent.Remset = append(parent.Remset, child.Remset...)
+	child.Remset = nil
+
+	// Unpin objects whose unpin depth has been reached: the entangled
+	// tasks have joined, so these are ordinary objects of the merged heap.
+	for _, r := range child.Pinned {
+		h := space.Header(r)
+		if h.Kind() == mem.KForward {
+			continue // stale entry; object was copied and list rebuilt elsewhere
+		}
+		if h.Pinned() && h.UnpinDepth() >= parent.depth {
+			space.Unpin(r)
+			unpinned++
+		} else if h.Pinned() {
+			parent.Pinned = append(parent.Pinned, r)
+		}
+	}
+	child.Pinned = nil
+
+	parent.RootSets = append(parent.RootSets, child.RootSets...)
+	child.RootSets = nil
+
+	child.Dead = true
+	parent.Collections += child.Collections
+	parent.CopiedWords += child.CopiedWords
+
+	child.Mu.Unlock()
+	parent.Mu.Unlock()
+
+	t.mu.Lock()
+	child.pre.Delete()
+	child.post.Delete()
+	t.mu.Unlock()
+
+	parent.liveChildren.Add(-1)
+	return unpinned
+}
+
+// ExclusiveSuffix returns the chain of heaps from leaf upward that are
+// exclusively owned by the task holding leaf: the walk stops at the first
+// heap that has other live children (a concurrent subtree) or at the root's
+// parent. The returned slice is ordered leaf-first. Collections may safely
+// move unpinned objects within this suffix.
+func (t *Tree) ExclusiveSuffix(leaf *Heap) []*Heap {
+	if leaf.liveChildren.Load() != 0 {
+		return nil
+	}
+	out := []*Heap{leaf}
+	h := leaf
+	for {
+		p := h.parent
+		// The parent is exclusive only if our chain is its sole live child.
+		if p == nil || p.liveChildren.Load() != 1 {
+			break
+		}
+		out = append(out, p)
+		h = p
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"mplgo/internal/mem"
+)
+
+func TestForkStructure(t *testing.T) {
+	tr := New()
+	root := tr.Root()
+	if root.Depth() != 0 || root.Parent() != nil {
+		t.Fatal("root malformed")
+	}
+	c1 := tr.Fork(root)
+	c2 := tr.Fork(root)
+	if c1.Depth() != 1 || c2.Depth() != 1 {
+		t.Fatal("child depth wrong")
+	}
+	if c1.Parent() != root || c2.Parent() != root {
+		t.Fatal("child parent wrong")
+	}
+	if root.LiveChildren() != 2 {
+		t.Fatalf("LiveChildren = %d", root.LiveChildren())
+	}
+	if tr.Get(c1.ID) != c1 || tr.Get(root.ID) != root {
+		t.Fatal("Get by id broken")
+	}
+	if tr.Count() != 3 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	tr := New()
+	root := tr.Root()
+	a := tr.Fork(root)
+	b := tr.Fork(root)
+	aa := tr.Fork(a)
+	ab := tr.Fork(a)
+	aaa := tr.Fork(aa)
+
+	cases := []struct {
+		anc, desc *Heap
+		want      bool
+	}{
+		{root, root, true}, {root, a, true}, {root, aaa, true},
+		{a, aa, true}, {a, ab, true}, {a, aaa, true}, {aa, aaa, true},
+		{a, b, false}, {b, a, false}, {aa, ab, false}, {ab, aaa, false},
+		{aaa, a, false}, {a, root, false}, {b, aaa, false},
+	}
+	for _, mode := range []bool{false, true} {
+		tr.UseWalkAncestor = mode
+		for _, c := range cases {
+			if got := tr.IsAncestor(c.anc, c.desc); got != c.want {
+				t.Fatalf("walk=%v IsAncestor(%d,%d) = %v, want %v",
+					mode, c.anc.ID, c.desc.ID, got, c.want)
+			}
+		}
+	}
+}
+
+func TestAncestorModesAgreeRandom(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(3))
+	heaps := []*Heap{tr.Root()}
+	for i := 0; i < 300; i++ {
+		heaps = append(heaps, tr.Fork(heaps[rng.Intn(len(heaps))]))
+	}
+	for trial := 0; trial < 10000; trial++ {
+		a := heaps[rng.Intn(len(heaps))]
+		d := heaps[rng.Intn(len(heaps))]
+		tr.UseWalkAncestor = false
+		euler := tr.IsAncestor(a, d)
+		tr.UseWalkAncestor = true
+		walk := tr.IsAncestor(a, d)
+		if euler != walk {
+			t.Fatalf("ancestor modes disagree for (%d,%d): euler=%v walk=%v", a.ID, d.ID, euler, walk)
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tr := New()
+	root := tr.Root()
+	a := tr.Fork(root)
+	b := tr.Fork(root)
+	aa := tr.Fork(a)
+	ab := tr.Fork(a)
+	if tr.LCA(aa, ab) != a {
+		t.Fatal("LCA(aa,ab) != a")
+	}
+	if tr.LCA(aa, b) != root {
+		t.Fatal("LCA(aa,b) != root")
+	}
+	if tr.LCA(aa, aa) != aa {
+		t.Fatal("LCA(x,x) != x")
+	}
+	if tr.LCA(a, aa) != a || tr.LCA(aa, a) != a {
+		t.Fatal("LCA with ancestor broken")
+	}
+}
+
+func TestMergeMovesChunksAndRemset(t *testing.T) {
+	tr := New()
+	sp := mem.NewSpace()
+	root := tr.Root()
+	child := tr.Fork(root)
+
+	al := mem.NewAllocator(sp, child.ID)
+	r := al.AllocTuple(mem.Int(1))
+	child.Chunks = append(child.Chunks, al.Chunks...)
+	child.AddRemembered(r, 0)
+
+	if sp.HeapOf(r) != child.ID {
+		t.Fatal("setup: wrong owner")
+	}
+	tr.Merge(child, root, sp)
+	if sp.HeapOf(r) != root.ID {
+		t.Fatal("merge did not reassign chunk ownership")
+	}
+	if len(root.Chunks) != 1 || len(root.Remset) != 1 {
+		t.Fatalf("merge did not move lists: chunks=%d remset=%d", len(root.Chunks), len(root.Remset))
+	}
+	if !child.Dead {
+		t.Fatal("merged child not marked dead")
+	}
+	if root.LiveChildren() != 0 {
+		t.Fatal("LiveChildren not decremented")
+	}
+}
+
+func TestMergeUnpinsAtDepth(t *testing.T) {
+	tr := New()
+	sp := mem.NewSpace()
+	root := tr.Root()
+	mid := tr.Fork(root) // depth 1
+	leaf := tr.Fork(mid) // depth 2
+
+	al := mem.NewAllocator(sp, leaf.ID)
+	deepPin := al.AllocRef(mem.Int(1))    // unpins at depth 1
+	shallowPin := al.AllocRef(mem.Int(2)) // unpins at depth 0
+	leaf.Chunks = append(leaf.Chunks, al.Chunks...)
+
+	sp.Pin(deepPin, 1)
+	sp.Pin(shallowPin, 0)
+	leaf.Mu.Lock()
+	leaf.AddPinned(deepPin)
+	leaf.AddPinned(shallowPin)
+	leaf.Mu.Unlock()
+
+	// Merging leaf (2) into mid (1): deepPin's unpin depth (1) >= 1 → unpin;
+	// shallowPin (0) stays pinned and moves to mid's list.
+	n := tr.Merge(leaf, mid, sp)
+	if n != 1 {
+		t.Fatalf("unpinned = %d, want 1", n)
+	}
+	if sp.Header(deepPin).Pinned() {
+		t.Fatal("deepPin still pinned after reaching its unpin depth")
+	}
+	if !sp.Header(shallowPin).Pinned() {
+		t.Fatal("shallowPin unpinned too early")
+	}
+	if len(mid.Pinned) != 1 || mid.Pinned[0] != shallowPin {
+		t.Fatal("pinned list not transferred")
+	}
+
+	// Final merge to root unpins the rest.
+	n = tr.Merge(mid, root, sp)
+	if n != 1 || sp.Header(shallowPin).Pinned() {
+		t.Fatal("second merge failed to unpin")
+	}
+}
+
+func TestMergeNonChildPanics(t *testing.T) {
+	tr := New()
+	sp := mem.NewSpace()
+	a := tr.Fork(tr.Root())
+	b := tr.Fork(tr.Root())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging non-child must panic")
+		}
+	}()
+	tr.Merge(a, b, sp)
+}
+
+func TestExclusiveSuffix(t *testing.T) {
+	tr := New()
+	sp := mem.NewSpace()
+	root := tr.Root()
+	a := tr.Fork(root)
+	b := tr.Fork(root) // concurrent sibling keeps root shared
+	aa := tr.Fork(a)
+
+	// aa's suffix: {aa, a} — a has exactly one live child (aa); root has two.
+	suf := tr.ExclusiveSuffix(aa)
+	if len(suf) != 2 || suf[0] != aa || suf[1] != a {
+		t.Fatalf("suffix = %v", ids(suf))
+	}
+
+	// b's suffix is just {b}.
+	suf = tr.ExclusiveSuffix(b)
+	if len(suf) != 1 || suf[0] != b {
+		t.Fatalf("suffix(b) = %v", ids(suf))
+	}
+
+	// A heap with live children is not collectible at all.
+	if got := tr.ExclusiveSuffix(a); got != nil {
+		t.Fatalf("suffix of shared heap = %v", ids(got))
+	}
+
+	// After b joins, root becomes part of aa's suffix.
+	tr.Merge(b, root, sp)
+	suf = tr.ExclusiveSuffix(aa)
+	if len(suf) != 3 || suf[2] != root {
+		t.Fatalf("suffix after join = %v", ids(suf))
+	}
+}
+
+func ids(hs []*Heap) []uint32 {
+	var out []uint32
+	for _, h := range hs {
+		out = append(out, h.ID)
+	}
+	return out
+}
+
+type fakeRoots struct{ refs []mem.Value }
+
+func (f *fakeRoots) Roots(visit func(*mem.Value)) {
+	for i := range f.refs {
+		visit(&f.refs[i])
+	}
+}
+
+func TestRootSetAttachment(t *testing.T) {
+	tr := New()
+	sp := mem.NewSpace()
+	root := tr.Root()
+	child := tr.Fork(root)
+	rs := &fakeRoots{}
+	child.AddRootSet(rs)
+	if len(child.RootSets) != 1 {
+		t.Fatal("AddRootSet failed")
+	}
+	// Merge carries root sets upward.
+	tr.Merge(child, root, sp)
+	if len(root.RootSets) != 1 {
+		t.Fatal("merge dropped root sets")
+	}
+	root.RemoveRootSet(rs)
+	if len(root.RootSets) != 0 {
+		t.Fatal("RemoveRootSet failed")
+	}
+}
+
+func TestConcurrentForks(t *testing.T) {
+	tr := New()
+	root := tr.Root()
+	done := make(chan []*Heap, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			var mine []*Heap
+			h := tr.Fork(root)
+			for i := 0; i < 100; i++ {
+				h = tr.Fork(h)
+				mine = append(mine, h)
+			}
+			done <- mine
+		}()
+	}
+	var chains [][]*Heap
+	for g := 0; g < 4; g++ {
+		chains = append(chains, <-done)
+	}
+	// Each chain is internally ancestral; chains are mutually concurrent.
+	for _, ch := range chains {
+		for i := 1; i < len(ch); i++ {
+			if !tr.IsAncestor(ch[i-1], ch[i]) {
+				t.Fatal("chain ancestry broken under concurrent forks")
+			}
+		}
+	}
+	if tr.IsAncestor(chains[0][0], chains[1][0]) {
+		t.Fatal("separate chains must not be ancestral")
+	}
+}

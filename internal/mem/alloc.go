@@ -1,0 +1,115 @@
+package mem
+
+// Allocator is a per-task bump allocator into chunks owned by one heap of
+// the hierarchy. Because each task allocates only into its own leaf heap,
+// allocation requires no synchronization beyond acquiring fresh chunks from
+// the space — the property that makes hierarchical memory management fast.
+type Allocator struct {
+	space *Space
+	heap  uint32
+	cur   *Chunk
+	// Chunks lists every chunk this allocator obtained, in order; the
+	// owning heap adopts them. The slice is read by the heap's collector
+	// while the task is stopped, never concurrently with allocation.
+	Chunks []*Chunk
+	// AllocWords counts words allocated through this allocator.
+	AllocWords int64
+}
+
+// NewAllocator creates an allocator feeding the given heap.
+func NewAllocator(s *Space, heap uint32) *Allocator {
+	return &Allocator{space: s, heap: heap}
+}
+
+// Heap returns the id of the heap this allocator feeds.
+func (a *Allocator) Heap() uint32 { return a.heap }
+
+// Retarget redirects the allocator to a different heap (at forks/joins).
+// Previously obtained chunks stay with their original heap; the caller is
+// responsible for having adopted them.
+func (a *Allocator) Retarget(heap uint32) {
+	a.heap = heap
+	a.cur = nil
+	a.Chunks = nil
+}
+
+// Alloc allocates an object with the given kind and payload length (words)
+// and returns its reference. The payload is zeroed (all fields Nil).
+// Objects always occupy at least one payload word so forwarding headers
+// have room for the forwarding pointer.
+func (a *Allocator) Alloc(k Kind, payloadWords int) Ref {
+	n := payloadWords
+	if n < 1 {
+		n = 1
+	}
+	total := n + 1
+	c := a.cur
+	if c == nil || c.Alloc+total > len(c.Data) {
+		c = a.space.NewChunk(a.heap, total)
+		a.cur = c
+		a.Chunks = append(a.Chunks, c)
+	}
+	off := c.Alloc
+	c.Alloc += total
+	c.Data[off] = MakeHeader(k, payloadWords)
+	a.AllocWords += int64(total)
+	a.space.totalAlloc.Add(int64(total))
+	return MakeRef(c.ID, off)
+}
+
+// AllocTuple allocates an immutable tuple initialized with vs.
+func (a *Allocator) AllocTuple(vs ...Value) Ref {
+	r := a.Alloc(KTuple, len(vs))
+	c := a.space.chunk(r.Chunk())
+	base := r.Off() + 1
+	for i, v := range vs {
+		c.Data[base+i] = uint64(v)
+	}
+	return r
+}
+
+// AllocArray allocates a mutable array of n slots, each initialized to v.
+func (a *Allocator) AllocArray(n int, v Value) Ref {
+	r := a.Alloc(KArray, n)
+	if v != 0 {
+		c := a.space.chunk(r.Chunk())
+		base := r.Off() + 1
+		for i := 0; i < n; i++ {
+			c.Data[base+i] = uint64(v)
+		}
+	}
+	return r
+}
+
+// AllocRef allocates a mutable ref cell holding v.
+func (a *Allocator) AllocRef(v Value) Ref {
+	r := a.Alloc(KRefCell, 1)
+	a.space.chunk(r.Chunk()).Data[r.Off()+1] = uint64(v)
+	return r
+}
+
+// AllocString allocates an immutable raw object holding the bytes of str,
+// packed 8 per word, preceded by one word recording the byte length.
+func (a *Allocator) AllocString(str string) Ref {
+	words := 1 + (len(str)+7)/8
+	r := a.Alloc(KRaw, words)
+	c := a.space.chunk(r.Chunk())
+	base := r.Off() + 1
+	c.Data[base] = uint64(len(str))
+	for i := 0; i < len(str); i++ {
+		c.Data[base+1+i/8] |= uint64(str[i]) << (8 * (i % 8))
+	}
+	return r
+}
+
+// LoadString decodes a raw object written by AllocString.
+func (s *Space) LoadString(r Ref) string {
+	c := s.chunk(r.Chunk())
+	base := r.Off() + 1
+	n := int(c.Data[base])
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b[i] = byte(c.Data[base+1+i/8] >> (8 * (i % 8)))
+	}
+	return string(b)
+}

@@ -1,0 +1,257 @@
+package mem
+
+import "sync/atomic"
+
+// Kind classifies heap objects. The kind determines mutability (and hence
+// which accesses take the entanglement barriers) and whether the payload
+// holds tagged values that the collectors must scan.
+type Kind uint8
+
+const (
+	// KForward marks a forwarded object: the first payload word holds the
+	// tagged Value of the object's new location. Forwarding headers are
+	// installed by the copying collector.
+	KForward Kind = iota
+	// KTuple is an immutable record of tagged values.
+	KTuple
+	// KArray is a mutable array of tagged values.
+	KArray
+	// KRefCell is a mutable cell holding a single tagged value (ML `ref`).
+	KRefCell
+	// KRaw is an immutable blob of untagged words (string/byte data).
+	// The collectors do not scan raw payloads.
+	KRaw
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KForward:
+		return "forward"
+	case KTuple:
+		return "tuple"
+	case KArray:
+		return "array"
+	case KRefCell:
+		return "ref"
+	case KRaw:
+		return "raw"
+	}
+	return "invalid"
+}
+
+// Mutable reports whether objects of this kind admit Write operations,
+// and therefore participate in entanglement creation.
+func (k Kind) Mutable() bool { return k == KArray || k == KRefCell }
+
+// Scanned reports whether the payload holds tagged values the collectors
+// must trace through.
+func (k Kind) Scanned() bool { return k == KTuple || k == KArray || k == KRefCell }
+
+// Object header layout (one uint64 preceding the payload):
+//
+//	bits  0..2   kind
+//	bit   3      candidate — a down-pointer or entangled read reached this
+//	             object; reads *through* it must take the slow path
+//	bit   4      pinned — the object may not be moved or reclaimed by LGC
+//	bit   5      mark — transient mark used inside a single collection
+//	bit   6      valid — always set; guarantees headers are nonzero
+//	bits 16..47  payload length in words (max 2^32-1, clipped by offBits)
+//	bits 48..63  unpin depth — the shallowest hierarchy depth at which the
+//	             object was pinned; merging to that depth unpins it
+const (
+	hdrKindMask  = 0x7
+	hdrCandidate = 1 << 3
+	hdrPinned    = 1 << 4
+	hdrMark      = 1 << 5
+	hdrValid     = 1 << 6
+	hdrLenShift  = 16
+	hdrLenMask   = 0xFFFFFFFF
+	hdrUnpinSh   = 48
+)
+
+// MaxUnpinDepth is the deepest hierarchy depth representable in a header.
+const MaxUnpinDepth = 0xFFFF
+
+// MakeHeader builds a fresh object header.
+func MakeHeader(k Kind, payloadWords int) uint64 {
+	return uint64(k) | hdrValid | uint64(payloadWords)<<hdrLenShift
+}
+
+// Header is a decoded view of an object header word.
+type Header uint64
+
+// Kind returns the object kind.
+func (h Header) Kind() Kind { return Kind(h & hdrKindMask) }
+
+// Len returns the payload length in words.
+func (h Header) Len() int { return int(uint64(h) >> hdrLenShift & hdrLenMask) }
+
+// Candidate reports the candidate bit.
+func (h Header) Candidate() bool { return h&hdrCandidate != 0 }
+
+// Pinned reports the pinned bit.
+func (h Header) Pinned() bool { return h&hdrPinned != 0 }
+
+// Marked reports the transient mark bit.
+func (h Header) Marked() bool { return h&hdrMark != 0 }
+
+// Valid reports whether this looks like a real object header.
+func (h Header) Valid() bool { return h&hdrValid != 0 }
+
+// UnpinDepth returns the depth at which the object unpins.
+func (h Header) UnpinDepth() int { return int(uint64(h) >> hdrUnpinSh) }
+
+// Space-level object accessors. These are the raw (barrier-free) operations;
+// the runtime's Task.Read/Task.Write wrap them with entanglement barriers.
+
+// Header returns the decoded header of the object at r.
+func (s *Space) Header(r Ref) Header {
+	c := s.chunk(r.Chunk())
+	return Header(atomic.LoadUint64(&c.Data[r.Off()]))
+}
+
+// setHeaderBits atomically ORs bits into the header of r and reports whether
+// the bits were previously clear (i.e. this call changed the header).
+func (s *Space) setHeaderBits(r Ref, bits uint64) bool {
+	c := s.chunk(r.Chunk())
+	p := &c.Data[r.Off()]
+	for {
+		old := atomic.LoadUint64(p)
+		if old&bits == bits {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(p, old, old|bits) {
+			return true
+		}
+	}
+}
+
+// clearHeaderBits atomically clears bits in the header of r.
+func (s *Space) clearHeaderBits(r Ref, bits uint64) {
+	c := s.chunk(r.Chunk())
+	p := &c.Data[r.Off()]
+	for {
+		old := atomic.LoadUint64(p)
+		if old&bits == 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(p, old, old&^bits) {
+			return
+		}
+	}
+}
+
+// SetCandidate marks r as an entanglement candidate.
+// It reports whether the bit was newly set.
+func (s *Space) SetCandidate(r Ref) bool { return s.setHeaderBits(r, hdrCandidate) }
+
+// Pin pins r with the given unpin depth, preventing the moving collector
+// from relocating or reclaiming it. If r is already pinned, the unpin depth
+// is lowered to min(existing, depth) so the object stays pinned long enough
+// for every entanglement involving it. It reports whether r was newly pinned.
+func (s *Space) Pin(r Ref, unpinDepth int) bool {
+	if unpinDepth < 0 {
+		unpinDepth = 0
+	}
+	if unpinDepth > MaxUnpinDepth {
+		unpinDepth = MaxUnpinDepth
+	}
+	c := s.chunk(r.Chunk())
+	p := &c.Data[r.Off()]
+	for {
+		old := atomic.LoadUint64(p)
+		h := Header(old)
+		newDepth := unpinDepth
+		wasPinned := h.Pinned()
+		if wasPinned && h.UnpinDepth() < newDepth {
+			newDepth = h.UnpinDepth()
+		}
+		nw := old&^(uint64(0xFFFF)<<hdrUnpinSh) | hdrPinned | uint64(newDepth)<<hdrUnpinSh
+		if nw == old {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(p, old, nw) {
+			if !wasPinned {
+				atomic.AddInt32(&c.PinCount, 1)
+			}
+			return !wasPinned
+		}
+	}
+}
+
+// Unpin clears the pinned bit of r. It reports whether r was pinned.
+func (s *Space) Unpin(r Ref) bool {
+	c := s.chunk(r.Chunk())
+	p := &c.Data[r.Off()]
+	for {
+		old := atomic.LoadUint64(p)
+		if Header(old).Pinned() == false {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(p, old, old&^uint64(hdrPinned)) {
+			atomic.AddInt32(&c.PinCount, -1)
+			return true
+		}
+	}
+}
+
+// SetMark sets the transient mark bit; reports whether it was newly set.
+func (s *Space) SetMark(r Ref) bool { return s.setHeaderBits(r, hdrMark) }
+
+// ClearMark clears the transient mark bit.
+func (s *Space) ClearMark(r Ref) { s.clearHeaderBits(r, hdrMark) }
+
+// Load reads payload word i of the object at r without any barrier.
+func (s *Space) Load(r Ref, i int) Value {
+	c := s.chunk(r.Chunk())
+	return Value(atomic.LoadUint64(&c.Data[r.Off()+1+i]))
+}
+
+// Store writes payload word i of the object at r without any barrier.
+func (s *Space) Store(r Ref, i int, v Value) {
+	c := s.chunk(r.Chunk())
+	atomic.StoreUint64(&c.Data[r.Off()+1+i], uint64(v))
+}
+
+// CAS atomically compares-and-swaps payload word i of the object at r,
+// without any barrier. It reports whether the swap happened.
+func (s *Space) CAS(r Ref, i int, old, new Value) bool {
+	c := s.chunk(r.Chunk())
+	return atomic.CompareAndSwapUint64(&c.Data[r.Off()+1+i], uint64(old), uint64(new))
+}
+
+// LoadRaw reads an untagged payload word (for KRaw objects).
+func (s *Space) LoadRaw(r Ref, i int) uint64 {
+	c := s.chunk(r.Chunk())
+	return c.Data[r.Off()+1+i]
+}
+
+// StoreRaw writes an untagged payload word (for KRaw objects, during init).
+func (s *Space) StoreRaw(r Ref, i int, w uint64) {
+	c := s.chunk(r.Chunk())
+	c.Data[r.Off()+1+i] = w
+}
+
+// Forward overwrites the object at old with a forwarding header pointing to
+// its new location. The payload length is preserved in the forwarding header
+// so that from-space scans can still skip over the object.
+func (s *Space) Forward(old, new Ref) {
+	c := s.chunk(old.Chunk())
+	n := Header(c.Data[old.Off()]).Len()
+	atomic.StoreUint64(&c.Data[old.Off()+1], uint64(new.Value()))
+	atomic.StoreUint64(&c.Data[old.Off()], uint64(KForward)|hdrValid|uint64(n)<<hdrLenShift)
+}
+
+// Forwarded resolves a possibly-forwarded reference to its current location,
+// chasing at most one hop (the collectors never create forwarding chains).
+func (s *Space) Forwarded(r Ref) (Ref, bool) {
+	if s.Header(r).Kind() != KForward {
+		return r, false
+	}
+	return s.Load(r, 0).Ref(), true
+}
+
+// HeapOf returns the heap id owning the chunk that contains r.
+func (s *Space) HeapOf(r Ref) uint32 {
+	return s.chunk(r.Chunk()).HeapID()
+}

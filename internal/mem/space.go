@@ -1,0 +1,146 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkWords is the default chunk payload size in words (64 KiB).
+const ChunkWords = 1 << 13
+
+// Chunk table geometry: a fixed directory of lazily-created segments, so
+// chunk lookup — on every Load/Store — is lock-free, while chunk creation
+// never moves previously published entries.
+const (
+	segShift  = 12
+	segSize   = 1 << segShift // chunks per segment
+	dirSize   = 1 << 11       // segments
+	maxChunks = dirSize * segSize
+)
+
+// Chunk is a contiguous arena of words owned by exactly one heap of the
+// hierarchy at a time. Heap identity lives on the chunk — not on objects —
+// so merging a child heap into its parent at a join touches only the chunk
+// list, never individual objects (DESIGN.md decision 1).
+type Chunk struct {
+	ID   uint32
+	Data []uint64
+	// Alloc is the bump offset of the next free word. Only the owning
+	// task mutates it.
+	Alloc int
+	// PinCount counts currently pinned objects residing in this chunk.
+	// A chunk can only be released while it holds no pinned objects.
+	PinCount int32
+
+	heapID atomic.Uint32
+}
+
+// HeapID returns the id of the heap currently owning this chunk.
+func (c *Chunk) HeapID() uint32 { return c.heapID.Load() }
+
+// SetHeapID reassigns the chunk to another heap (used by joins/merges).
+func (c *Chunk) SetHeapID(id uint32) { c.heapID.Store(id) }
+
+// Words returns the chunk capacity in words.
+func (c *Chunk) Words() int { return len(c.Data) }
+
+type chunkSegment [segSize]*Chunk
+
+// Space is the global store of chunks: a two-level table plus a free list.
+// It tracks the residency statistics the space experiments report.
+type Space struct {
+	mu   sync.Mutex
+	next uint32   // next chunk id to assign; id 0 is reserved
+	free []*Chunk // released standard-size chunks available for reuse
+	dir  [dirSize]atomic.Pointer[chunkSegment]
+
+	liveWords    atomic.Int64 // words in live (allocated-to-heap) chunks
+	maxLiveWords atomic.Int64 // high-water mark of liveWords
+	totalAlloc   atomic.Int64 // cumulative words ever handed to allocators
+}
+
+// NewSpace creates an empty space.
+func NewSpace() *Space {
+	return &Space{next: 1} // chunk id 0 reserved
+}
+
+// NewChunk allocates a chunk of at least minWords payload owned by heap.
+// Standard-size requests are served from the free list when possible.
+func (s *Space) NewChunk(heap uint32, minWords int) *Chunk {
+	words := ChunkWords
+	if minWords > words {
+		words = minWords
+	}
+	s.mu.Lock()
+	var c *Chunk
+	if words == ChunkWords && len(s.free) > 0 {
+		c = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		clear(c.Data)
+		c.Alloc = 0
+		c.PinCount = 0
+	} else {
+		if s.next >= maxChunks {
+			s.mu.Unlock()
+			panic("mem: chunk table exhausted")
+		}
+		id := s.next
+		s.next++
+		c = &Chunk{ID: id, Data: make([]uint64, words)}
+		seg := s.dir[id>>segShift].Load()
+		if seg == nil {
+			seg = new(chunkSegment)
+			s.dir[id>>segShift].Store(seg)
+		}
+		seg[id&(segSize-1)] = c
+	}
+	s.mu.Unlock()
+	c.SetHeapID(heap)
+	live := s.liveWords.Add(int64(words))
+	for {
+		max := s.maxLiveWords.Load()
+		if live <= max || s.maxLiveWords.CompareAndSwap(max, live) {
+			break
+		}
+	}
+	return c
+}
+
+// Release returns a chunk to the space. Standard-size chunks are recycled;
+// oversize chunks are dropped (their backing arrays return to Go).
+// Releasing a chunk holding pinned objects is a bug in the collector.
+func (s *Space) Release(c *Chunk) {
+	if atomic.LoadInt32(&c.PinCount) != 0 {
+		panic(fmt.Sprintf("mem: releasing chunk %d with %d pinned objects", c.ID, c.PinCount))
+	}
+	s.liveWords.Add(int64(-len(c.Data)))
+	c.SetHeapID(0)
+	if len(c.Data) != ChunkWords {
+		return
+	}
+	s.mu.Lock()
+	s.free = append(s.free, c)
+	s.mu.Unlock()
+}
+
+// chunk returns the chunk with the given index. Lock-free.
+func (s *Space) chunk(idx uint32) *Chunk {
+	return s.dir[idx>>segShift].Load()[idx&(segSize-1)]
+}
+
+// ChunkByID exposes chunk lookup to the collectors.
+func (s *Space) ChunkByID(idx uint32) *Chunk { return s.chunk(idx) }
+
+// LiveWords returns the words currently held by live chunks.
+func (s *Space) LiveWords() int64 { return s.liveWords.Load() }
+
+// MaxLiveWords returns the high-water mark of LiveWords: the max residency
+// statistic reported by the space experiments.
+func (s *Space) MaxLiveWords() int64 { return s.maxLiveWords.Load() }
+
+// TotalAllocWords returns the cumulative words handed out by allocators.
+func (s *Space) TotalAllocWords() int64 { return s.totalAlloc.Load() }
+
+// ResetMaxLive resets the residency high-water mark to current residency.
+func (s *Space) ResetMaxLive() { s.maxLiveWords.Store(s.liveWords.Load()) }

@@ -1,0 +1,100 @@
+package mlang
+
+// Expr is an AST node. Every node carries its source position for error
+// reporting; the type checker fills Type in during inference.
+type Expr interface {
+	Pos() (line, col int)
+}
+
+type pos struct{ line, col int }
+
+func (p pos) Pos() (int, int) { return p.line, p.col }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	pos
+	Val int64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	pos
+	Val bool
+}
+
+// UnitLit is ().
+type UnitLit struct{ pos }
+
+// StrLit is a string literal.
+type StrLit struct {
+	pos
+	Val string
+}
+
+// Var is a variable reference.
+type Var struct {
+	pos
+	Name string
+}
+
+// Fn is a lambda: fn x => body.
+type Fn struct {
+	pos
+	Param string
+	Body  Expr
+}
+
+// App is function application.
+type App struct {
+	pos
+	Fun, Arg Expr
+}
+
+// Let binds a value: let val x = e1 in e2 end.
+type Let struct {
+	pos
+	Name string
+	Bind Expr
+	Body Expr
+}
+
+// LetFun binds a recursive function: let fun f x = e1 in e2 end.
+type LetFun struct {
+	pos
+	Name  string
+	Param string
+	FBody Expr
+	Body  Expr
+}
+
+// If is a conditional.
+type If struct {
+	pos
+	Cond, Then, Else Expr
+}
+
+// Tuple is (e1, ..., ek), k >= 2.
+type Tuple struct {
+	pos
+	Elems []Expr
+}
+
+// Proj is #i e (1-based, as in SML).
+type Proj struct {
+	pos
+	Index int
+	Arg   Expr
+}
+
+// Par is par (e1, e2): evaluate in parallel, yield the pair.
+type Par struct {
+	pos
+	Left, Right Expr
+}
+
+// Prim is a primitive application: arithmetic, comparisons, refs, arrays.
+type Prim struct {
+	pos
+	Op   string // "+", "-", "*", "div", "mod", "<", "<=", ">", ">=", "=", "<>", "~", "not", "ref", "!", ":=", "array", "sub", "update", "length", "print", "andalso", "orelse", ";"
+	Args []Expr
+}

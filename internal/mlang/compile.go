@@ -1,0 +1,452 @@
+package mlang
+
+import "fmt"
+
+// opcode enumerates VM instructions.
+type opcode int
+
+const (
+	opConst     opcode = iota // push integer k
+	opUnit                    // push unit
+	opString                  // push a fresh string object of s
+	opLocal                   // push local slot a
+	opSetLocal                // pop into local slot a
+	opParam                   // push the function parameter
+	opSelf                    // push the executing closure (recursion)
+	opCapture                 // push captured value a of the executing closure
+	opClosure                 // pop b captures, push closure of function a
+	opCall                    // pop arg, pop closure, push the call's result
+	opJump                    // jump to a
+	opJumpFalse               // pop condition; jump to a when false
+	opBin                     // pop r, pop l, push l (s) r
+	opNeg                     // pop, push arithmetic negation
+	opNot                     // pop, push boolean negation
+	opTuple                   // pop a values, push tuple
+	opProj                    // pop tuple, push field a (0-based)
+	opRef                     // pop v, push ref cell
+	opDeref                   // pop cell, push contents (read barrier)
+	opAssign                  // pop v, pop cell, store (write barrier), push unit
+	opArray                   // pop v, pop n, push array of n × v
+	opSub                     // pop i, pop array, push element (read barrier)
+	opUpdate                  // pop v, pop i, pop array, store, push unit
+	opLen                     // pop array, push length
+	opPar                     // pop right closure, pop left closure, run in parallel, push pair
+	opTabulate                // pop f, pop n, build [| f 0 .. f (n-1) |] in parallel
+	opReduce                  // pop f, pop z, pop array, fold in parallel
+	opPrint                   // pop integer, print it, push unit
+	opPop                     // pop and discard
+)
+
+// instr is one VM instruction.
+type instr struct {
+	op   opcode
+	a, b int
+	k    int64
+	s    string
+}
+
+// fnCode is one compiled function.
+type fnCode struct {
+	name     string
+	code     []instr
+	nLocals  int
+	maxStack int
+	nCaps    int
+}
+
+// Program is a compiled mlang program; function 0 is the entry point.
+type Program struct {
+	Funcs []*fnCode
+}
+
+// capture records how an enclosing-function value reaches a closure.
+type capture struct {
+	fromKind int // 0 param, 1 self, 2 local, 3 capture (of the enclosing fn)
+	fromIdx  int
+}
+
+// binding is an in-scope local variable.
+type binding struct {
+	name string
+	slot int
+}
+
+// fnCtx is the per-function compilation context.
+type fnCtx struct {
+	fn      *fnCode
+	param   string
+	self    string // function's own name for recursion; "" if anonymous
+	locals  []binding
+	nslots  int
+	caps    []capture
+	capKeys map[string]int
+	parent  *fnCtx
+
+	depth int // current operand-stack depth
+}
+
+// compiler holds the program being built.
+type compiler struct {
+	prog *Program
+}
+
+// Compile lowers a type-checked expression to bytecode.
+func Compile(e Expr) (*Program, error) {
+	c := &compiler{prog: &Program{}}
+	main := &fnCode{name: "main"}
+	c.prog.Funcs = append(c.prog.Funcs, main)
+	ctx := &fnCtx{fn: main, param: "", capKeys: map[string]int{}}
+	if err := c.expr(ctx, e); err != nil {
+		return nil, err
+	}
+	finish(ctx)
+	return c.prog, nil
+}
+
+func finish(ctx *fnCtx) {
+	ctx.fn.nLocals = ctx.nslots
+	ctx.fn.nCaps = len(ctx.caps)
+}
+
+// emit appends an instruction and tracks operand-stack depth.
+func (ctx *fnCtx) emit(i instr, delta int) int {
+	ctx.fn.code = append(ctx.fn.code, i)
+	ctx.depth += delta
+	if ctx.depth > ctx.fn.maxStack {
+		ctx.fn.maxStack = ctx.depth
+	}
+	return len(ctx.fn.code) - 1
+}
+
+// resolve compiles a variable reference in ctx.
+func (c *compiler) resolve(ctx *fnCtx, name string, e Expr) error {
+	// Innermost locals shadow the parameter and the self name.
+	for i := len(ctx.locals) - 1; i >= 0; i-- {
+		if ctx.locals[i].name == name {
+			ctx.emit(instr{op: opLocal, a: ctx.locals[i].slot}, +1)
+			return nil
+		}
+	}
+	if name == ctx.param && ctx.param != "" {
+		ctx.emit(instr{op: opParam}, +1)
+		return nil
+	}
+	if name == ctx.self && ctx.self != "" {
+		ctx.emit(instr{op: opSelf}, +1)
+		return nil
+	}
+	// Free variable: capture it from the enclosing function.
+	idx, err := c.captureVar(ctx, name, e)
+	if err != nil {
+		return err
+	}
+	ctx.emit(instr{op: opCapture, a: idx}, +1)
+	return nil
+}
+
+// captureVar arranges for name (free in ctx) to be a capture of ctx's
+// function, resolving it in the enclosing context (transitively).
+func (c *compiler) captureVar(ctx *fnCtx, name string, e Expr) (int, error) {
+	if idx, ok := ctx.capKeys[name]; ok {
+		return idx, nil
+	}
+	p := ctx.parent
+	if p == nil {
+		return 0, typeErr(e, "unbound variable %s", name)
+	}
+	var cap capture
+	found := false
+	for i := len(p.locals) - 1; i >= 0; i-- {
+		if p.locals[i].name == name {
+			cap = capture{fromKind: 2, fromIdx: p.locals[i].slot}
+			found = true
+			break
+		}
+	}
+	if !found && name == p.param && p.param != "" {
+		cap = capture{fromKind: 0}
+		found = true
+	}
+	if !found && name == p.self && p.self != "" {
+		cap = capture{fromKind: 1}
+		found = true
+	}
+	if !found {
+		// Not in the immediate parent either: capture it there first.
+		pidx, err := c.captureVar(p, name, e)
+		if err != nil {
+			return 0, err
+		}
+		cap = capture{fromKind: 3, fromIdx: pidx}
+	}
+	idx := len(ctx.caps)
+	ctx.caps = append(ctx.caps, cap)
+	ctx.capKeys[name] = idx
+	return idx, nil
+}
+
+// compileFn compiles a function body into a fresh fnCode and returns its
+// index plus its capture list (to be materialized at the closure site).
+func (c *compiler) compileFn(parent *fnCtx, name, param string, body Expr) (int, []capture, error) {
+	fn := &fnCode{name: name}
+	idx := len(c.prog.Funcs)
+	c.prog.Funcs = append(c.prog.Funcs, fn)
+	ctx := &fnCtx{fn: fn, param: param, self: name, capKeys: map[string]int{}, parent: parent}
+	if err := c.expr(ctx, body); err != nil {
+		return 0, nil, err
+	}
+	finish(ctx)
+	return idx, ctx.caps, nil
+}
+
+// emitClosure pushes the captured values in order, then builds the closure.
+func (c *compiler) emitClosure(ctx *fnCtx, fnIdx int, caps []capture) {
+	for _, cap := range caps {
+		switch cap.fromKind {
+		case 0:
+			ctx.emit(instr{op: opParam}, +1)
+		case 1:
+			ctx.emit(instr{op: opSelf}, +1)
+		case 2:
+			ctx.emit(instr{op: opLocal, a: cap.fromIdx}, +1)
+		case 3:
+			ctx.emit(instr{op: opCapture, a: cap.fromIdx}, +1)
+		}
+	}
+	ctx.emit(instr{op: opClosure, a: fnIdx, b: len(caps)}, 1-len(caps))
+}
+
+func (c *compiler) expr(ctx *fnCtx, e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		ctx.emit(instr{op: opConst, k: e.Val}, +1)
+	case *BoolLit:
+		k := int64(0)
+		if e.Val {
+			k = 1
+		}
+		ctx.emit(instr{op: opConst, k: k}, +1)
+	case *UnitLit:
+		ctx.emit(instr{op: opUnit}, +1)
+	case *StrLit:
+		ctx.emit(instr{op: opString, s: e.Val}, +1)
+	case *Var:
+		return c.resolve(ctx, e.Name, e)
+	case *Fn:
+		idx, caps, err := c.compileFn(ctx, "", e.Param, e.Body)
+		if err != nil {
+			return err
+		}
+		c.emitClosure(ctx, idx, caps)
+	case *App:
+		if err := c.expr(ctx, e.Fun); err != nil {
+			return err
+		}
+		if err := c.expr(ctx, e.Arg); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opCall}, -1)
+	case *Let:
+		if err := c.expr(ctx, e.Bind); err != nil {
+			return err
+		}
+		slot := ctx.nslots
+		ctx.nslots++
+		ctx.emit(instr{op: opSetLocal, a: slot}, -1)
+		ctx.locals = append(ctx.locals, binding{e.Name, slot})
+		if err := c.expr(ctx, e.Body); err != nil {
+			return err
+		}
+		ctx.locals = ctx.locals[:len(ctx.locals)-1]
+	case *LetFun:
+		idx, caps, err := c.compileFn(ctx, e.Name, e.Param, e.FBody)
+		if err != nil {
+			return err
+		}
+		c.emitClosure(ctx, idx, caps)
+		slot := ctx.nslots
+		ctx.nslots++
+		ctx.emit(instr{op: opSetLocal, a: slot}, -1)
+		ctx.locals = append(ctx.locals, binding{e.Name, slot})
+		if err := c.expr(ctx, e.Body); err != nil {
+			return err
+		}
+		ctx.locals = ctx.locals[:len(ctx.locals)-1]
+	case *If:
+		if err := c.expr(ctx, e.Cond); err != nil {
+			return err
+		}
+		jf := ctx.emit(instr{op: opJumpFalse}, -1)
+		base := ctx.depth
+		if err := c.expr(ctx, e.Then); err != nil {
+			return err
+		}
+		j := ctx.emit(instr{op: opJump}, 0)
+		after := ctx.depth
+		ctx.fn.code[jf].a = len(ctx.fn.code)
+		ctx.depth = base
+		if err := c.expr(ctx, e.Else); err != nil {
+			return err
+		}
+		if ctx.depth != after {
+			return typeErr(e, "internal: branch stack depths diverge")
+		}
+		ctx.fn.code[j].a = len(ctx.fn.code)
+	case *Tuple:
+		for _, el := range e.Elems {
+			if err := c.expr(ctx, el); err != nil {
+				return err
+			}
+		}
+		ctx.emit(instr{op: opTuple, a: len(e.Elems)}, 1-len(e.Elems))
+	case *Proj:
+		if err := c.expr(ctx, e.Arg); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opProj, a: e.Index - 1}, 0)
+	case *Par:
+		li, lcaps, err := c.compileFn(ctx, "", "", e.Left)
+		if err != nil {
+			return err
+		}
+		c.emitClosure(ctx, li, lcaps)
+		ri, rcaps, err := c.compileFn(ctx, "", "", e.Right)
+		if err != nil {
+			return err
+		}
+		c.emitClosure(ctx, ri, rcaps)
+		ctx.emit(instr{op: opPar}, -1)
+	case *Prim:
+		return c.prim(ctx, e)
+	default:
+		return typeErr(e, "internal: unknown expression %T", e)
+	}
+	return nil
+}
+
+func (c *compiler) prim(ctx *fnCtx, e *Prim) error {
+	args := func(n int) error {
+		for i := 0; i < n; i++ {
+			if err := c.expr(ctx, e.Args[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch e.Op {
+	case "+", "-", "*", "div", "mod", "<", "<=", ">", ">=", "=", "<>":
+		if err := args(2); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opBin, s: e.Op}, -1)
+	case "andalso":
+		// Short-circuit: if !a then false else b.
+		if err := args(1); err != nil {
+			return err
+		}
+		jf := ctx.emit(instr{op: opJumpFalse}, -1)
+		if err := c.expr(ctx, e.Args[1]); err != nil {
+			return err
+		}
+		j := ctx.emit(instr{op: opJump}, 0)
+		ctx.fn.code[jf].a = len(ctx.fn.code)
+		ctx.depth--
+		ctx.emit(instr{op: opConst, k: 0}, +1)
+		ctx.fn.code[j].a = len(ctx.fn.code)
+	case "orelse":
+		// if a then true else b — compile via jump-false over the "true".
+		if err := args(1); err != nil {
+			return err
+		}
+		jf := ctx.emit(instr{op: opJumpFalse}, -1)
+		ctx.emit(instr{op: opConst, k: 1}, +1)
+		j := ctx.emit(instr{op: opJump}, 0)
+		ctx.fn.code[jf].a = len(ctx.fn.code)
+		ctx.depth--
+		if err := c.expr(ctx, e.Args[1]); err != nil {
+			return err
+		}
+		ctx.fn.code[j].a = len(ctx.fn.code)
+	case "~":
+		if err := args(1); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opNeg}, 0)
+	case "not":
+		if err := args(1); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opNot}, 0)
+	case "ref":
+		if err := args(1); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opRef}, 0)
+	case "!":
+		if err := args(1); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opDeref}, 0)
+	case ":=":
+		if err := args(2); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opAssign}, -1)
+	case "array":
+		if err := args(2); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opArray}, -1)
+	case "sub":
+		if err := args(2); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opSub}, -1)
+	case "update":
+		if err := args(3); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opUpdate}, -2)
+	case "length":
+		if err := args(1); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opLen}, 0)
+	case "tabulate":
+		if err := args(2); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opTabulate}, -1)
+	case "reduce":
+		if err := args(3); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opReduce}, -2)
+	case "print":
+		if err := args(1); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opPrint}, 0)
+	case ";":
+		if err := args(1); err != nil {
+			return err
+		}
+		ctx.emit(instr{op: opPop}, -1)
+		return c.expr(ctx, e.Args[1])
+	default:
+		return typeErr(e, "internal: unknown primitive %q", e.Op)
+	}
+	return nil
+}
+
+// Disassemble renders the program for debugging and tests.
+func (p *Program) Disassemble() string {
+	out := ""
+	for i, fn := range p.Funcs {
+		out += fmt.Sprintf("fn %d %q locals=%d stack=%d caps=%d\n", i, fn.name, fn.nLocals, fn.maxStack, fn.nCaps)
+		for pc, ins := range fn.code {
+			out += fmt.Sprintf("  %3d: %v a=%d b=%d k=%d %s\n", pc, ins.op, ins.a, ins.b, ins.k, ins.s)
+		}
+	}
+	return out
+}

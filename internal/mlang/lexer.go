@@ -1,0 +1,198 @@
+package mlang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// Error is a positioned front-end error (lexing, parsing, or typing).
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+func isAlpha(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_' || b == '\''
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and (* ... *) comments, which nest.
+	for l.pos < len(l.src) {
+		b := l.peekByte()
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			l.advance()
+			continue
+		}
+		if b == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*' {
+			depth := 0
+			for l.pos < len(l.src) {
+				if l.peekByte() == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*' {
+					l.advance()
+					l.advance()
+					depth++
+				} else if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ')' {
+					l.advance()
+					l.advance()
+					depth--
+					if depth == 0 {
+						break
+					}
+				} else {
+					l.advance()
+				}
+			}
+			if depth != 0 {
+				return token{}, l.errf("unterminated comment")
+			}
+			continue
+		}
+		break
+	}
+	line, col := l.line, l.col
+	mk := func(k kind) token { return token{kind: k, line: line, col: col} }
+	if l.pos >= len(l.src) {
+		return mk(EOF), nil
+	}
+	b := l.advance()
+	switch {
+	case isDigit(b):
+		start := l.pos - 1
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token{}, l.errf("bad integer %q", text)
+		}
+		t := mk(INT)
+		t.num = n
+		return t, nil
+	case isAlpha(b):
+		start := l.pos - 1
+		for l.pos < len(l.src) && (isAlpha(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if k, ok := keywords[text]; ok {
+			return mk(k), nil
+		}
+		t := mk(IDENT)
+		t.text = text
+		return t, nil
+	case b == '"':
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() != '"' {
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string")
+		}
+		text := l.src[start:l.pos]
+		l.advance() // closing quote
+		t := mk(STRING)
+		t.text = text
+		return t, nil
+	}
+	two := func(nextB byte, yes, no kind) token {
+		if l.peekByte() == nextB {
+			l.advance()
+			return mk(yes)
+		}
+		return mk(no)
+	}
+	switch b {
+	case '(':
+		return mk(LPAREN), nil
+	case ')':
+		return mk(RPAREN), nil
+	case ',':
+		return mk(COMMA), nil
+	case ';':
+		return mk(SEMI), nil
+	case '+':
+		return mk(PLUS), nil
+	case '-':
+		return mk(MINUS), nil
+	case '*':
+		return mk(STAR), nil
+	case '~':
+		return mk(TILDE), nil
+	case '#':
+		return mk(HASH), nil
+	case '!':
+		return mk(BANG), nil
+	case '=':
+		return two('>', DARROW, EQ), nil
+	case ':':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(ASSIGN), nil
+		}
+		return token{}, l.errf("unexpected ':'")
+	case '<':
+		if l.peekByte() == '>' {
+			l.advance()
+			return mk(NEQ), nil
+		}
+		return two('=', LE, LT), nil
+	case '>':
+		return two('=', GE, GT), nil
+	}
+	return token{}, l.errf("unexpected character %q", b)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == EOF {
+			return out, nil
+		}
+	}
+}

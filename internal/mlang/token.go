@@ -1,0 +1,129 @@
+// Package mlang implements a small Parallel-ML-family language on top of
+// the hierarchical runtime: lexer, parser, type inference, a bytecode
+// compiler, and a virtual machine whose values live entirely in the
+// runtime's simulated heap (so the VM's operand stacks are precise GC
+// roots, and every read and write of a mutable object goes through the
+// entanglement barriers).
+//
+// It is the stand-in for MPL's full Parallel ML front end (DESIGN.md,
+// substitutions): source programs with unrestricted effects — refs,
+// arrays, and `par` — compile and run on the entanglement-managing
+// runtime.
+//
+// The language:
+//
+//	e ::= n | true | false | () | x | "s"
+//	    | fn x => e | e1 e2
+//	    | let val x = e1 in e2 end
+//	    | let fun f x = e1 in e2 end
+//	    | if e1 then e2 else e3
+//	    | (e1, ..., ek) | #i e
+//	    | par (e1, e2)
+//	    | ref e | !e | e1 := e2
+//	    | array (e1, e2) | sub (e1, e2) | update (e1, e2, e3) | length e
+//	    | e1 op e2 | ~e | not e | print e | (e1; e2)
+package mlang
+
+import "fmt"
+
+// kind enumerates token kinds.
+type kind int
+
+const (
+	EOF kind = iota
+	INT
+	IDENT
+	STRING
+
+	LET
+	VAL
+	FUN
+	IN
+	END
+	FN
+	IF
+	THEN
+	ELSE
+	TRUE
+	FALSE
+	PAR
+	REF
+	ARRAY
+	SUB
+	UPDATE
+	LENGTH
+	TABULATE
+	REDUCE
+	PRINT
+	NOT
+	ANDALSO
+	ORELSE
+	DIV
+	MOD
+
+	LPAREN
+	RPAREN
+	COMMA
+	SEMI
+	DARROW // =>
+	ASSIGN // :=
+	BANG   // !
+	HASH   // #
+	PLUS
+	MINUS
+	STAR
+	TILDE // unary minus
+	EQ
+	NEQ // <>
+	LT
+	LE
+	GT
+	GE
+)
+
+var kindNames = map[kind]string{
+	EOF: "eof", INT: "int", IDENT: "ident", STRING: "string",
+	LET: "let", VAL: "val", FUN: "fun", IN: "in", END: "end", FN: "fn",
+	IF: "if", THEN: "then", ELSE: "else", TRUE: "true", FALSE: "false",
+	PAR: "par", REF: "ref", ARRAY: "array", SUB: "sub", UPDATE: "update",
+	LENGTH: "length", TABULATE: "tabulate", REDUCE: "reduce", PRINT: "print", NOT: "not", ANDALSO: "andalso",
+	ORELSE: "orelse", DIV: "div", MOD: "mod",
+	LPAREN: "(", RPAREN: ")", COMMA: ",", SEMI: ";", DARROW: "=>",
+	ASSIGN: ":=", BANG: "!", HASH: "#", PLUS: "+", MINUS: "-", STAR: "*",
+	TILDE: "~", EQ: "=", NEQ: "<>", LT: "<", LE: "<=", GT: ">", GE: ">=",
+}
+
+func (k kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywords = map[string]kind{
+	"let": LET, "val": VAL, "fun": FUN, "in": IN, "end": END, "fn": FN,
+	"if": IF, "then": THEN, "else": ELSE, "true": TRUE, "false": FALSE,
+	"par": PAR, "ref": REF, "array": ARRAY, "sub": SUB, "update": UPDATE,
+	"length": LENGTH, "tabulate": TABULATE, "reduce": REDUCE, "print": PRINT, "not": NOT, "andalso": ANDALSO,
+	"orelse": ORELSE, "div": DIV, "mod": MOD,
+}
+
+// token is one lexeme.
+type token struct {
+	kind kind
+	text string
+	num  int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case INT:
+		return fmt.Sprintf("%d", t.num)
+	case IDENT, STRING:
+		return t.text
+	default:
+		return t.kind.String()
+	}
+}

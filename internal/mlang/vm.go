@@ -1,0 +1,441 @@
+package mlang
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"mplgo/internal/mem"
+	"mplgo/mpl"
+)
+
+// RuntimeError is an mlang-level runtime fault (division by zero, array
+// bounds).
+type RuntimeError struct{ Msg string }
+
+func (e *RuntimeError) Error() string { return "runtime error: " + e.Msg }
+
+// Machine executes compiled programs on the hierarchical runtime. Every
+// value a program manipulates is a runtime Value; the operand stack and
+// locals of each activation live in a Task frame, so they are precise GC
+// roots, and all mutable-object access goes through the entanglement
+// barriers.
+type Machine struct {
+	prog *Program
+	out  io.Writer
+}
+
+// NewMachine creates a machine for a compiled program.
+func NewMachine(prog *Program, out io.Writer) *Machine {
+	if out == nil {
+		out = io.Discard
+	}
+	return &Machine{prog: prog, out: out}
+}
+
+// Run executes the program's entry function on task t.
+func (m *Machine) Run(t *mpl.Task) (mem.Value, error) {
+	clos := t.AllocTuple(mem.Int(0))
+	return m.call(t, clos.Value(), mem.Int(0))
+}
+
+// call runs one activation: closure applied to arg.
+func (m *Machine) call(t *mpl.Task, closure, arg mem.Value) (mem.Value, error) {
+	fnIdx := t.Read(closure.Ref(), 0).AsInt()
+	fn := m.prog.Funcs[fnIdx]
+	f := t.NewFrame(2 + fn.nLocals + fn.maxStack)
+	defer f.Pop()
+	f.Set(0, closure)
+	f.Set(1, arg)
+	base := 2 + fn.nLocals
+	sp := 0
+	push := func(v mem.Value) {
+		f.Set(base+sp, v)
+		sp++
+	}
+	pop := func() mem.Value {
+		sp--
+		return f.Get(base + sp)
+	}
+
+	code := fn.code
+	for pc := 0; pc < len(code); pc++ {
+		ins := code[pc]
+		switch ins.op {
+		case opConst:
+			push(mem.Int(ins.k))
+		case opUnit:
+			push(mem.Int(0))
+		case opString:
+			push(t.AllocString(ins.s).Value())
+		case opLocal:
+			push(f.Get(2 + ins.a))
+		case opSetLocal:
+			f.Set(2+ins.a, pop())
+		case opParam:
+			push(f.Get(1))
+		case opSelf:
+			push(f.Get(0))
+		case opCapture:
+			push(t.Read(f.Get(0).Ref(), 1+ins.a))
+		case opClosure:
+			vs := make([]mem.Value, 1+ins.b)
+			vs[0] = mem.Int(int64(ins.a))
+			for i := ins.b - 1; i >= 0; i-- {
+				vs[1+i] = pop()
+			}
+			push(t.AllocTuple(vs...).Value())
+		case opCall:
+			a := pop()
+			c := pop()
+			v, err := m.call(t, c, a)
+			if err != nil {
+				return mem.Nil, err
+			}
+			push(v)
+		case opJump:
+			pc = ins.a - 1
+		case opJumpFalse:
+			if pop().AsInt() == 0 {
+				pc = ins.a - 1
+			}
+		case opBin:
+			r := pop().AsInt()
+			l := pop().AsInt()
+			v, err := binop(ins.s, l, r)
+			if err != nil {
+				return mem.Nil, err
+			}
+			push(v)
+		case opNeg:
+			push(mem.Int(-pop().AsInt()))
+		case opNot:
+			push(mem.Bool(pop().AsInt() == 0))
+		case opTuple:
+			vs := make([]mem.Value, ins.a)
+			for i := ins.a - 1; i >= 0; i-- {
+				vs[i] = pop()
+			}
+			push(t.AllocTuple(vs...).Value())
+		case opProj:
+			tup := pop()
+			push(t.Read(tup.Ref(), ins.a))
+		case opRef:
+			push(t.AllocRef(pop()).Value())
+		case opDeref:
+			push(t.Deref(pop().Ref()))
+		case opAssign:
+			v := pop()
+			cell := pop()
+			t.Assign(cell.Ref(), v)
+			push(mem.Int(0))
+		case opArray:
+			v := pop()
+			n := pop().AsInt()
+			if n < 0 {
+				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("array size %d", n)}
+			}
+			push(t.AllocArray(int(n), v).Value())
+		case opSub:
+			i := pop().AsInt()
+			arr := pop().Ref()
+			if i < 0 || int(i) >= t.Length(arr) {
+				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("index %d out of bounds [0,%d)", i, t.Length(arr))}
+			}
+			push(t.Read(arr, int(i)))
+		case opUpdate:
+			v := pop()
+			i := pop().AsInt()
+			arr := pop().Ref()
+			if i < 0 || int(i) >= t.Length(arr) {
+				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("index %d out of bounds [0,%d)", i, t.Length(arr))}
+			}
+			t.Write(arr, int(i), v)
+			push(mem.Int(0))
+		case opLen:
+			push(mem.Int(int64(t.Length(pop().Ref()))))
+		case opPar:
+			rc := pop()
+			lc := pop()
+			var lerr, rerr error
+			lv, rv := t.Par(
+				func(t *mpl.Task) mem.Value {
+					v, err := m.call(t, lc, mem.Int(0))
+					lerr = err
+					return v
+				},
+				func(t *mpl.Task) mem.Value {
+					v, err := m.call(t, rc, mem.Int(0))
+					rerr = err
+					return v
+				},
+			)
+			if lerr != nil {
+				return mem.Nil, lerr
+			}
+			if rerr != nil {
+				return mem.Nil, rerr
+			}
+			push(t.AllocTuple(lv, rv).Value())
+		case opTabulate:
+			fcl := pop()
+			n := pop().AsInt()
+			if n < 0 {
+				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("tabulate size %d", n)}
+			}
+			v, err := m.tabulate(t, fcl, int(n))
+			if err != nil {
+				return mem.Nil, err
+			}
+			push(v)
+		case opReduce:
+			fcl := pop()
+			z := pop()
+			arr := pop()
+			v, err := m.reduce(t, arr, z, fcl, 0, t.Length(arr.Ref()))
+			if err != nil {
+				return mem.Nil, err
+			}
+			push(v)
+		case opPrint:
+			v := pop()
+			fmt.Fprintf(m.out, "%d\n", v.AsInt())
+			push(mem.Int(0))
+		case opPop:
+			pop()
+		default:
+			return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("bad opcode %d", ins.op)}
+		}
+	}
+	if sp != 1 {
+		return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("stack imbalance: %d", sp)}
+	}
+	return pop(), nil
+}
+
+// tabulate builds [| f 0, ..., f (n-1) |] with a parallel loop. The array
+// and the function closure are rooted in a frame so leaves that run on
+// this task itself survive its collections; leaves on child tasks write
+// their results through the (barriered) array stores.
+func (m *Machine) tabulate(t *mpl.Task, fcl mem.Value, n int) (mem.Value, error) {
+	ff := t.NewFrame(2)
+	ff.Set(0, fcl)
+	ff.Set(1, t.AllocArray(n, mem.Nil).Value())
+	grain := n/64 + 1
+	var mu sync.Mutex
+	var firstErr error
+	t.ParFor(0, n, grain, func(t *mpl.Task, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v, err := m.call(t, ff.Get(0), mem.Int(int64(i)))
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			t.Write(ff.Ref(1), i, v)
+		}
+	})
+	out := ff.Get(1)
+	ff.Pop()
+	if firstErr != nil {
+		return mem.Nil, firstErr
+	}
+	return out, nil
+}
+
+// apply2 computes ((f a) b), keeping b rooted across the first call.
+func (m *Machine) apply2(t *mpl.Task, fcl, a, b mem.Value) (mem.Value, error) {
+	ff := t.NewFrame(1)
+	ff.Set(0, b)
+	c1, err := m.call(t, fcl, a)
+	if err != nil {
+		ff.Pop()
+		return mem.Nil, err
+	}
+	b2 := ff.Get(0)
+	ff.Pop()
+	return m.call(t, c1, b2)
+}
+
+// reduce folds arr[lo:hi) with the combiner fcl and identity z by binary
+// parallel splitting; leaves fold sequentially.
+func (m *Machine) reduce(t *mpl.Task, arr, z, fcl mem.Value, lo, hi int) (mem.Value, error) {
+	const grain = 256
+	if hi-lo <= grain {
+		ff := t.NewFrame(3)
+		ff.Set(0, fcl)
+		ff.Set(1, arr)
+		ff.Set(2, z)
+		for i := lo; i < hi; i++ {
+			v := t.Read(ff.Ref(1), i)
+			acc, err := m.apply2(t, ff.Get(0), ff.Get(2), v)
+			if err != nil {
+				ff.Pop()
+				return mem.Nil, err
+			}
+			ff.Set(2, acc)
+		}
+		out := ff.Get(2)
+		ff.Pop()
+		return out, nil
+	}
+	mid := lo + (hi-lo)/2
+	var lerr, rerr error
+	lv, rv := t.Par(
+		func(t *mpl.Task) mem.Value {
+			v, err := m.reduce(t, arr, z, fcl, lo, mid)
+			lerr = err
+			return v
+		},
+		func(t *mpl.Task) mem.Value {
+			v, err := m.reduce(t, arr, z, fcl, mid, hi)
+			rerr = err
+			return v
+		},
+	)
+	if lerr != nil {
+		return mem.Nil, lerr
+	}
+	if rerr != nil {
+		return mem.Nil, rerr
+	}
+	return m.apply2(t, fcl, lv, rv)
+}
+
+func binop(op string, l, r int64) (mem.Value, error) {
+	switch op {
+	case "+":
+		return mem.Int(l + r), nil
+	case "-":
+		return mem.Int(l - r), nil
+	case "*":
+		return mem.Int(l * r), nil
+	case "div":
+		if r == 0 {
+			return mem.Nil, &RuntimeError{Msg: "division by zero"}
+		}
+		return mem.Int(l / r), nil
+	case "mod":
+		if r == 0 {
+			return mem.Nil, &RuntimeError{Msg: "mod by zero"}
+		}
+		return mem.Int(l % r), nil
+	case "<":
+		return mem.Bool(l < r), nil
+	case "<=":
+		return mem.Bool(l <= r), nil
+	case ">":
+		return mem.Bool(l > r), nil
+	case ">=":
+		return mem.Bool(l >= r), nil
+	case "=":
+		return mem.Bool(l == r), nil
+	case "<>":
+		return mem.Bool(l != r), nil
+	}
+	return mem.Nil, &RuntimeError{Msg: "bad operator " + op}
+}
+
+// Result is the outcome of running a source program.
+type Result struct {
+	Value    mem.Value
+	Type     Type
+	Rendered string
+	Runtime  *mpl.Runtime
+	Output   string
+}
+
+// Run parses, checks, compiles, and executes src on a fresh runtime with
+// the given configuration. Program output (print) is captured in
+// Result.Output.
+func Run(src string, cfg mpl.Config) (*Result, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	typ, err := Check(ast)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := Compile(ast)
+	if err != nil {
+		return nil, err
+	}
+	var out strings.Builder
+	m := NewMachine(prog, &out)
+	rt := mpl.New(cfg)
+	res := &Result{Type: typ, Runtime: rt}
+	var rerr error
+	_, err = rt.Run(func(t *mpl.Task) mem.Value {
+		v, err := m.Run(t)
+		if err != nil {
+			rerr = err
+			return mem.Nil
+		}
+		res.Value = v
+		res.Rendered = render(t, v, typ, 0)
+		return v
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Output = out.String()
+	return res, nil
+}
+
+// render pretty-prints a value using its inferred type.
+func render(t *mpl.Task, v mem.Value, typ Type, depth int) string {
+	if depth > 5 {
+		return "..."
+	}
+	switch ty := resolve(typ).(type) {
+	case *TCon:
+		switch ty.Name {
+		case "int":
+			return fmt.Sprintf("%d", v.AsInt())
+		case "bool":
+			if v.AsInt() != 0 {
+				return "true"
+			}
+			return "false"
+		case "unit":
+			return "()"
+		case "string":
+			return fmt.Sprintf("%q", t.StringOf(v.Ref()))
+		}
+	case *TTuple:
+		parts := make([]string, len(ty.Elems))
+		for i, et := range ty.Elems {
+			parts[i] = render(t, t.Read(v.Ref(), i), et, depth+1)
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case *TRef:
+		return "ref " + render(t, t.Deref(v.Ref()), ty.Elem, depth+1)
+	case *TArray:
+		n := t.Length(v.Ref())
+		show := n
+		if show > 8 {
+			show = 8
+		}
+		parts := make([]string, 0, show+1)
+		for i := 0; i < show; i++ {
+			parts = append(parts, render(t, t.Read(v.Ref(), i), ty.Elem, depth+1))
+		}
+		if show < n {
+			parts = append(parts, "...")
+		}
+		return "[|" + strings.Join(parts, ", ") + "|]"
+	case *TArrow:
+		return "fn"
+	case *TVar:
+		return v.String()
+	}
+	return v.String()
+}

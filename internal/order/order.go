@@ -1,0 +1,161 @@
+// Package order implements an order-maintenance list in the style of
+// Dietz and Sleator: a sequence supporting InsertAfter, Delete and O(1)
+// order queries, with amortized O(log n) relabeling on insertion.
+//
+// The heap hierarchy uses two elements per heap — the pre and post visits
+// of an Euler tour — so that "H1 is an ancestor of H2" becomes the O(1)
+// interval test pre(H1) ≤ pre(H2) ∧ post(H2) ≤ post(H1). This is the
+// mechanism MPL-style runtimes use to make the entanglement barriers'
+// ancestor checks constant-time (DESIGN.md decision 5).
+//
+// The list itself is not synchronized; callers (package hierarchy) guard
+// it with a readers–writer lock because relabeling rewrites tags that
+// concurrent order queries read.
+package order
+
+// tagSpace is the size of the circular label space.
+const tagSpace = uint64(1) << 62
+
+// Elem is an element of an order-maintenance list.
+type Elem struct {
+	tag        uint64
+	prev, next *Elem
+	list       *List
+}
+
+// List is an order-maintenance list. The zero value is not ready for use;
+// call NewList.
+type List struct {
+	base *Elem // sentinel; the circular list is ordered by tag relative to base
+	n    int   // number of elements, excluding the sentinel
+}
+
+// NewList creates an empty list.
+func NewList() *List {
+	l := &List{}
+	s := &Elem{list: l}
+	s.prev, s.next = s, s
+	l.base = s
+	return l
+}
+
+// Len returns the number of elements in the list.
+func (l *List) Len() int { return l.n }
+
+// Base returns the sentinel element, which precedes every element ever
+// inserted. It can be used as the insertion point for a new first element.
+func (l *List) Base() *Elem { return l.base }
+
+// rel returns e's label relative to the sentinel, the quantity that defines
+// list order.
+func (e *Elem) rel() uint64 {
+	return (e.tag - e.list.base.tag) % tagSpace
+}
+
+// Less reports whether a precedes b in the list. a and b must belong to the
+// same list and be distinct from the sentinel (the sentinel precedes all).
+func Less(a, b *Elem) bool { return a.rel() < b.rel() }
+
+// Leq reports whether a precedes or equals b.
+func Leq(a, b *Elem) bool { return a == b || Less(a, b) }
+
+// InsertAfter inserts and returns a new element immediately after e.
+func (e *Elem) InsertAfter() *Elem {
+	l := e.list
+	succ := e.next
+	gap := gapBetween(e, succ)
+	if gap < 2 {
+		e.relabel()
+		succ = e.next
+		gap = gapBetween(e, succ)
+	}
+	n := &Elem{list: l, tag: e.tag + gap/2}
+	n.prev, n.next = e, succ
+	e.next, succ.prev = n, n
+	l.n++
+	return n
+}
+
+// gapBetween returns the label distance from a to its successor b, in the
+// circular label space relative to the sentinel. When b is the sentinel the
+// remaining space up to tagSpace is available.
+func gapBetween(a, b *Elem) uint64 {
+	l := a.list
+	ra := a.rel()
+	if b == l.base {
+		return tagSpace - ra
+	}
+	return b.rel() - ra
+}
+
+// relabel redistributes labels around e so that at least one unit of gap
+// exists after e. Following Dietz–Sleator, it scans successively larger
+// neighborhoods until it finds a range whose label span exceeds the square
+// of its population, then spreads that range's elements evenly.
+func (e *Elem) relabel() {
+	l := e.list
+	// Collect j elements starting at e, growing until the available label
+	// span (to the element after the window, or to the end of the space)
+	// exceeds j*j.
+	j := uint64(1)
+	end := e.next
+	for {
+		var span uint64
+		if end == l.base {
+			span = tagSpace - e.rel()
+		} else {
+			span = end.rel() - e.rel()
+		}
+		if span > j*j {
+			break
+		}
+		if end == l.base {
+			// Whole list is in the window and the space is still
+			// too dense — cannot happen before ~2^31 elements.
+			panic("order: label space exhausted")
+		}
+		end = end.next
+		j++
+	}
+	var span uint64
+	if end == l.base {
+		span = tagSpace - e.rel()
+	} else {
+		span = end.rel() - e.rel()
+	}
+	// Spread the j elements in (e, end) evenly across span.
+	step := span / j
+	tag := e.tag
+	for x := e.next; x != end; x = x.next {
+		tag += step
+		x.tag = tag
+	}
+}
+
+// Delete removes e from its list. Deleting the sentinel is a bug.
+func (e *Elem) Delete() {
+	if e == e.list.base {
+		panic("order: deleting sentinel")
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.list.n--
+	e.prev, e.next = nil, nil
+}
+
+// Validate checks the internal ordering invariant; it is used by tests.
+func (l *List) Validate() bool {
+	prev := uint64(0)
+	first := true
+	for x := l.base.next; x != l.base; x = x.next {
+		r := x.rel()
+		if !first && r <= prev {
+			return false
+		}
+		if first && r == 0 {
+			return false
+		}
+		prev, first = r, false
+	}
+	return true
+}

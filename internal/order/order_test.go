@@ -1,0 +1,206 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertSequence(t *testing.T) {
+	l := NewList()
+	a := l.Base().InsertAfter()
+	b := a.InsertAfter()
+	c := b.InsertAfter()
+	if !Less(a, b) || !Less(b, c) || !Less(a, c) {
+		t.Fatal("ordering after sequential inserts broken")
+	}
+	if Less(b, a) || Less(c, a) || Less(c, b) {
+		t.Fatal("reverse comparisons must be false")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestLeq(t *testing.T) {
+	l := NewList()
+	a := l.Base().InsertAfter()
+	b := a.InsertAfter()
+	if !Leq(a, a) || !Leq(a, b) || Leq(b, a) {
+		t.Fatal("Leq broken")
+	}
+}
+
+func TestInsertFront(t *testing.T) {
+	// Repeated insertion right after the sentinel forces relabeling.
+	l := NewList()
+	var elems []*Elem
+	for i := 0; i < 10000; i++ {
+		elems = append(elems, l.Base().InsertAfter())
+	}
+	if !l.Validate() {
+		t.Fatal("labels out of order")
+	}
+	// elems[i] was inserted before elems[i-1]'s position: later insertions
+	// at the front come earlier in list order.
+	for i := 1; i < len(elems); i++ {
+		if !Less(elems[i], elems[i-1]) {
+			t.Fatalf("front-insertion order broken at %d", i)
+		}
+	}
+}
+
+func TestInsertMiddleDense(t *testing.T) {
+	// Hammer a single insertion point; every insert lands between two
+	// adjacent labels, forcing frequent relabels.
+	l := NewList()
+	left := l.Base().InsertAfter()
+	right := left.InsertAfter()
+	var mids []*Elem
+	for i := 0; i < 5000; i++ {
+		mids = append(mids, left.InsertAfter())
+	}
+	if !l.Validate() {
+		t.Fatal("labels out of order after dense middle inserts")
+	}
+	for _, m := range mids {
+		if !Less(left, m) || !Less(m, right) {
+			t.Fatal("middle insert escaped its interval")
+		}
+	}
+}
+
+func TestRandomInsertOrderMatchesReference(t *testing.T) {
+	// Maintain a reference slice and compare all pairwise orders.
+	rng := rand.New(rand.NewSource(1))
+	l := NewList()
+	ref := []*Elem{l.Base().InsertAfter()}
+	for i := 0; i < 2000; i++ {
+		k := rng.Intn(len(ref))
+		e := ref[k].InsertAfter()
+		ref = append(ref[:k+1], append([]*Elem{e}, ref[k+1:]...)...)
+	}
+	if !l.Validate() {
+		t.Fatal("labels out of order")
+	}
+	for trial := 0; trial < 20000; trial++ {
+		i, j := rng.Intn(len(ref)), rng.Intn(len(ref))
+		if i == j {
+			continue
+		}
+		if got, want := Less(ref[i], ref[j]), i < j; got != want {
+			t.Fatalf("Less(ref[%d], ref[%d]) = %v, want %v", i, j, got, want)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	l := NewList()
+	a := l.Base().InsertAfter()
+	b := a.InsertAfter()
+	c := b.InsertAfter()
+	b.Delete()
+	if l.Len() != 2 {
+		t.Fatalf("Len after delete = %d", l.Len())
+	}
+	if !Less(a, c) {
+		t.Fatal("order broken after delete")
+	}
+	if !l.Validate() {
+		t.Fatal("invariant broken after delete")
+	}
+}
+
+func TestDeleteSentinelPanics(t *testing.T) {
+	l := NewList()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deleting sentinel must panic")
+		}
+	}()
+	l.Base().Delete()
+}
+
+func TestEulerTourAncestorPattern(t *testing.T) {
+	// Simulate the hierarchy's usage: each node holds (pre, post) elements;
+	// child intervals nest inside the parent's.
+	type node struct {
+		pre, post *Elem
+		children  []*node
+	}
+	l := NewList()
+	root := &node{}
+	root.pre = l.Base().InsertAfter()
+	root.post = root.pre.InsertAfter()
+
+	fork := func(p *node) *node {
+		c := &node{}
+		// Insert the child's interval just before the parent's post visit:
+		// after the parent's last child (or pre).
+		at := p.pre
+		if len(p.children) > 0 {
+			at = p.children[len(p.children)-1].post
+		}
+		c.pre = at.InsertAfter()
+		c.post = c.pre.InsertAfter()
+		p.children = append(p.children, c)
+		return c
+	}
+	isAncestor := func(a, d *node) bool {
+		return Leq(a.pre, d.pre) && Leq(d.post, a.post)
+	}
+
+	// Build a random tree and verify ancestry against parent pointers.
+	rng := rand.New(rand.NewSource(7))
+	nodes := []*node{root}
+	parent := map[*node]*node{}
+	for i := 0; i < 500; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		c := fork(p)
+		parent[c] = p
+		nodes = append(nodes, c)
+	}
+	refAncestor := func(a, d *node) bool {
+		for x := d; x != nil; x = parent[x] {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+	for trial := 0; trial < 20000; trial++ {
+		a := nodes[rng.Intn(len(nodes))]
+		d := nodes[rng.Intn(len(nodes))]
+		if got, want := isAncestor(a, d), refAncestor(a, d); got != want {
+			t.Fatalf("ancestor(%p,%p) = %v, want %v", a, d, got, want)
+		}
+	}
+}
+
+func BenchmarkInsertAfterSequential(b *testing.B) {
+	l := NewList()
+	e := l.Base().InsertAfter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e = e.InsertAfter()
+	}
+}
+
+func BenchmarkInsertAfterFront(b *testing.B) {
+	l := NewList()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Base().InsertAfter()
+	}
+}
+
+func BenchmarkLess(b *testing.B) {
+	l := NewList()
+	x := l.Base().InsertAfter()
+	y := x.InsertAfter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Less(x, y) {
+			b.Fatal("order broken")
+		}
+	}
+}

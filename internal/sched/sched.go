@@ -1,0 +1,187 @@
+// Package sched implements the nested fork–join work-stealing scheduler
+// the runtime executes on: per-worker deques, random victim selection, and
+// helping joins (a worker whose join partner was stolen steals other work
+// while it waits).
+//
+// The scheduler reports to its caller whether the right branch of a fork
+// was stolen: in MPL's design, heaps are materialized at steals, so this is
+// the hook the runtime uses to decide where child heaps are created.
+package sched
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// item is a stealable unit of work: the right branch of a fork.
+type item struct {
+	run  func(w *Worker, stolen bool)
+	done atomic.Bool
+}
+
+// deque is a per-worker double-ended queue. The owner pushes and pops at
+// the bottom; thieves steal from the top. A mutex keeps it simple and
+// correct; contention is negligible at benchmark grain sizes.
+type deque struct {
+	mu    sync.Mutex
+	items []*item
+}
+
+func (d *deque) pushBottom(t *item) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+// popBottom removes and returns the newest item, or nil.
+func (d *deque) popBottom() *item {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	t := d.items[n-1]
+	d.items = d.items[:n-1]
+	return t
+}
+
+// stealTop removes and returns the oldest item, or nil.
+func (d *deque) stealTop() *item {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil
+	}
+	t := d.items[0]
+	d.items = d.items[1:]
+	return t
+}
+
+// Worker is one of the pool's P workers. Fork–join operations must be
+// invoked from the worker's own goroutine (i.e. from inside work it runs).
+type Worker struct {
+	ID   int
+	pool *Pool
+	dq   deque
+	rng  *rand.Rand
+
+	// Steals counts items this worker stole from others.
+	Steals int64
+}
+
+// Pool is a work-stealing thread pool of P workers.
+type Pool struct {
+	workers []*Worker
+	done    atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// NewPool creates a pool with p workers. The seed makes victim selection
+// deterministic across runs with the same interleaving.
+func NewPool(p int, seed int64) *Pool {
+	if p < 1 {
+		p = 1
+	}
+	pool := &Pool{}
+	for i := 0; i < p; i++ {
+		pool.workers = append(pool.workers, &Worker{
+			ID:   i,
+			pool: pool,
+			rng:  rand.New(rand.NewSource(seed + int64(i)*7919)),
+		})
+	}
+	return pool
+}
+
+// P returns the number of workers.
+func (p *Pool) P() int { return len(p.workers) }
+
+// Workers exposes the workers for statistics collection.
+func (p *Pool) Workers() []*Worker { return p.workers }
+
+// TotalSteals sums steal counts across workers.
+func (p *Pool) TotalSteals() int64 {
+	var n int64
+	for _, w := range p.workers {
+		n += atomic.LoadInt64(&w.Steals)
+	}
+	return n
+}
+
+// Run executes root on worker 0, with workers 1..P-1 stealing, and returns
+// when root has returned (fork–join structure guarantees no work outlives
+// it). A pool can run multiple times, but not concurrently.
+func (p *Pool) Run(root func(*Worker)) {
+	p.done.Store(false)
+	for _, w := range p.workers[1:] {
+		p.wg.Add(1)
+		go func(w *Worker) {
+			defer p.wg.Done()
+			w.stealLoop()
+		}(w)
+	}
+	root(p.workers[0])
+	p.done.Store(true)
+	p.wg.Wait()
+}
+
+// stealLoop runs stolen work until the pool shuts down.
+func (w *Worker) stealLoop() {
+	for !w.pool.done.Load() {
+		if t := w.trySteal(); t != nil {
+			t.run(w, true)
+			t.done.Store(true)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// trySteal attempts to steal one item from a random victim, scanning all
+// workers once starting from a random position.
+func (w *Worker) trySteal() *item {
+	ws := w.pool.workers
+	start := w.rng.Intn(len(ws))
+	for i := 0; i < len(ws); i++ {
+		v := ws[(start+i)%len(ws)]
+		if v == w {
+			continue
+		}
+		if t := v.dq.stealTop(); t != nil {
+			atomic.AddInt64(&w.Steals, 1)
+			return t
+		}
+	}
+	return nil
+}
+
+// ForkJoin evaluates f and g, potentially in parallel, returning when both
+// have finished. g receives the worker executing it and whether it was
+// stolen by a different worker than the one that forked it.
+func (w *Worker) ForkJoin(f func(*Worker), g func(w *Worker, stolen bool)) {
+	t := &item{run: g}
+	w.dq.pushBottom(t)
+	f(w)
+	if got := w.dq.popBottom(); got != nil {
+		if got != t {
+			// Fork–join nesting guarantees the bottom of the deque is the
+			// item we pushed: inner forks pop their own items before we
+			// return here.
+			panic("sched: deque discipline violated")
+		}
+		g(w, false)
+		return
+	}
+	// Our item was stolen; help by stealing other work until it completes.
+	for !t.done.Load() {
+		if s := w.trySteal(); s != nil {
+			s.run(w, true)
+			s.done.Store(true)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// psum computes the sum of [lo, hi) by binary fork–join recursion.
+func psum(w *Worker, lo, hi int64, grain int64) int64 {
+	if hi-lo <= grain {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return s
+	}
+	mid := (lo + hi) / 2
+	var l, r int64
+	w.ForkJoin(
+		func(w *Worker) { l = psum(w, lo, mid, grain) },
+		func(w *Worker, _ bool) { r = psum(w, mid, hi, grain) },
+	)
+	return l + r
+}
+
+func TestForkJoinSum(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		pool := NewPool(p, 1)
+		var got int64
+		pool.Run(func(w *Worker) { got = psum(w, 0, 100000, 128) })
+		want := int64(100000) * 99999 / 2
+		if got != want {
+			t.Fatalf("P=%d: sum = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestSequentialDeterminism(t *testing.T) {
+	// With P=1 nothing is ever stolen: g always runs inline on the forker.
+	pool := NewPool(1, 1)
+	var stolen int32
+	var order []int
+	pool.Run(func(w *Worker) {
+		w.ForkJoin(
+			func(w *Worker) { order = append(order, 1) },
+			func(w *Worker, s bool) {
+				if s {
+					atomic.AddInt32(&stolen, 1)
+				}
+				order = append(order, 2)
+			},
+		)
+		order = append(order, 3)
+	})
+	if stolen != 0 {
+		t.Fatal("P=1 run reported a steal")
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("P=1 execution order = %v", order)
+	}
+	if pool.TotalSteals() != 0 {
+		t.Fatal("TotalSteals nonzero for P=1")
+	}
+}
+
+func TestStealsHappen(t *testing.T) {
+	// With several workers and wide fan-out, at least some forks must be
+	// stolen. Busy leaves give thieves time to act.
+	pool := NewPool(4, 42)
+	var sink atomic.Int64
+	pool.Run(func(w *Worker) {
+		var rec func(w *Worker, depth int)
+		rec = func(w *Worker, depth int) {
+			if depth == 0 {
+				var s int64
+				for i := 0; i < 20000; i++ {
+					s += int64(i)
+				}
+				sink.Add(s)
+				return
+			}
+			w.ForkJoin(
+				func(w *Worker) { rec(w, depth-1) },
+				func(w *Worker, _ bool) { rec(w, depth-1) },
+			)
+		}
+		rec(w, 8)
+	})
+	if pool.TotalSteals() == 0 {
+		t.Skip("no steals observed (single-core scheduling); inherently timing-dependent")
+	}
+}
+
+func TestNestedForkJoinDepth(t *testing.T) {
+	pool := NewPool(2, 3)
+	var leaves atomic.Int64
+	pool.Run(func(w *Worker) {
+		var rec func(w *Worker, depth int)
+		rec = func(w *Worker, depth int) {
+			if depth == 0 {
+				leaves.Add(1)
+				return
+			}
+			w.ForkJoin(
+				func(w *Worker) { rec(w, depth-1) },
+				func(w *Worker, _ bool) { rec(w, depth-1) },
+			)
+		}
+		rec(w, 12)
+	})
+	if got := leaves.Load(); got != 1<<12 {
+		t.Fatalf("leaves = %d, want %d", got, 1<<12)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	pool := NewPool(3, 9)
+	for round := 0; round < 5; round++ {
+		var got int64
+		pool.Run(func(w *Worker) { got = psum(w, 0, 10000, 64) })
+		if want := int64(10000) * 9999 / 2; got != want {
+			t.Fatalf("round %d: sum = %d", round, got)
+		}
+	}
+}
+
+func TestWorkerIdentity(t *testing.T) {
+	pool := NewPool(4, 5)
+	if pool.P() != 4 || len(pool.Workers()) != 4 {
+		t.Fatal("pool geometry wrong")
+	}
+	for i, w := range pool.Workers() {
+		if w.ID != i {
+			t.Fatalf("worker %d has ID %d", i, w.ID)
+		}
+	}
+	if NewPool(0, 1).P() != 1 {
+		t.Fatal("NewPool must clamp P to at least 1")
+	}
+}
+
+func TestDequeOrder(t *testing.T) {
+	var d deque
+	a, b, c := &item{}, &item{}, &item{}
+	d.pushBottom(a)
+	d.pushBottom(b)
+	d.pushBottom(c)
+	if d.stealTop() != a {
+		t.Fatal("stealTop must take the oldest item")
+	}
+	if d.popBottom() != c {
+		t.Fatal("popBottom must take the newest item")
+	}
+	if d.popBottom() != b || d.popBottom() != nil {
+		t.Fatal("deque drain broken")
+	}
+	if d.stealTop() != nil {
+		t.Fatal("empty deque stealTop must return nil")
+	}
+}

@@ -1,0 +1,243 @@
+// Package semantics is a reference implementation of the paper's
+// object-granularity entanglement semantics (paper §3–4), independent of
+// the runtime's mechanisms: no chunks, no candidate bits, no barriers, no
+// remembered sets. It executes fork–join programs over an abstract store
+// in which every object carries its current heap node; joins merge child
+// nodes into their parents; a read is *entangled* exactly when the
+// target's heap node is not an ancestor of the reading task's node, and
+// entangled objects are pinned with unpin depths and released when merges
+// reach them.
+//
+// Its purpose is differential testing (see the package tests): the same
+// randomly generated program runs on the real runtime (single worker,
+// fork-time heaps, deterministic schedule) and on this reference, and the
+// entanglement statistics — entangled reads, entangled writes,
+// down-pointer writes, pins — must agree exactly. That checks the paper's
+// completeness claim for the candidate-bit read barrier: the cheap filter
+// fires on precisely the reads the semantics calls entangled.
+package semantics
+
+// Program is a series–parallel tree of operation sequences: a node's Ops
+// run, then (if Left is non-nil) Left and Right run in parallel, then
+// After continues. The reference and the runtime both execute the leaves
+// left-to-right (one worker), so object allocation order is deterministic
+// and operand indices resolve identically.
+type Program struct {
+	Ops                []Op
+	Left, Right, After *Program
+}
+
+// OpKind enumerates program operations.
+type OpKind int
+
+const (
+	// OpAlloc allocates a one-field mutable object and appends it to the
+	// task's accessible list.
+	OpAlloc OpKind = iota
+	// OpWrite stores accessible[B] into accessible[A]'s field.
+	OpWrite
+	// OpRead loads accessible[A]'s field; if it holds an object, the
+	// object is appended to the accessible list (acquisition).
+	OpRead
+)
+
+// Op is one operation; A and B index the task's accessible list modulo its
+// length (so any generated integers are valid).
+type Op struct {
+	Kind OpKind
+	A, B int
+}
+
+// Stats are the entanglement metrics the reference computes; they
+// correspond to the runtime's entangle.StatsSnapshot fields.
+type Stats struct {
+	EntangledReads  int64
+	EntangledWrites int64
+	DownPointers    int64
+	Pins            int64
+	Unpins          int64
+}
+
+// node is a heap-hierarchy node of the reference.
+type node struct {
+	parent *bnode
+}
+
+// bnode is a heap node; objects map to their current bnode and merges
+// reassign them (the abstract version of chunk reassignment).
+type bnode struct {
+	parent *bnode
+	depth  int
+}
+
+// object is an abstract one-field object.
+type object struct {
+	heap      *bnode
+	field     *object // nil when empty
+	pinned    bool
+	unpinDeep int
+}
+
+// interp is the reference interpreter state.
+type interp struct {
+	stats Stats
+	objs  map[*bnode][]*object // objects per heap node, for merge reassignment
+}
+
+// Run executes the program under the reference semantics and returns the
+// entanglement statistics.
+func Run(p *Program) Stats {
+	in := &interp{objs: map[*bnode][]*object{}}
+	root := &bnode{depth: 0}
+	in.exec(p, root, nil)
+	return in.stats
+}
+
+func (in *interp) alloc(h *bnode) *object {
+	o := &object{heap: h}
+	in.objs[h] = append(in.objs[h], o)
+	return o
+}
+
+// isAncestor reports whether a is an ancestor of (or equal to) d.
+func isAncestor(a, d *bnode) bool {
+	for x := d; x != nil; x = x.parent {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// lca returns the least common ancestor of two heap nodes.
+func lca(a, b *bnode) *bnode {
+	for x := a; x != nil; x = x.parent {
+		if isAncestor(x, b) {
+			return x
+		}
+	}
+	return nil
+}
+
+// pin pins x for a task at node u: unpin depth is the LCA's depth, kept
+// minimal across re-pins (as in the runtime).
+func (in *interp) pin(x *object, u *bnode) {
+	d := lca(u, x.heap).depth
+	if x.pinned {
+		if d < x.unpinDeep {
+			x.unpinDeep = d
+		}
+		return
+	}
+	x.pinned = true
+	x.unpinDeep = d
+	in.stats.Pins++
+}
+
+// merge folds child heap node c into parent p: objects move up and pinned
+// objects whose unpin depth is reached are released.
+func (in *interp) merge(c, p *bnode) {
+	for _, o := range in.objs[c] {
+		o.heap = p
+		if o.pinned && o.unpinDeep >= p.depth {
+			o.pinned = false
+			in.stats.Unpins++
+		}
+	}
+	in.objs[p] = append(in.objs[p], in.objs[c]...)
+	delete(in.objs, c)
+}
+
+// exec runs a program node in heap node h with the given accessible list,
+// returning the extended accessible list.
+func (in *interp) exec(p *Program, h *bnode, acc []*object) []*object {
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpAlloc:
+			acc = append(acc, in.alloc(h))
+		case OpWrite:
+			if len(acc) == 0 {
+				continue
+			}
+			holder := acc[mod(op.A, len(acc))]
+			src := acc[mod(op.B, len(acc))]
+			// Classify the stored edge: up-pointers are free,
+			// down-pointers are remembered, and cross-pointers —
+			// publishing an object to a concurrent heap (or holding a
+			// concurrent object in one's own) — are entangled writes
+			// that pin the stored object.
+			switch {
+			case holder.heap == src.heap:
+				// same heap: nothing
+			case isAncestor(src.heap, holder.heap):
+				// up-pointer: free
+			case isAncestor(holder.heap, src.heap):
+				in.stats.DownPointers++
+			default:
+				in.stats.EntangledWrites++
+				d := lca(holder.heap, src.heap).depth
+				if u := lca(h, src.heap).depth; u < d {
+					d = u
+				}
+				in.pinAt(src, d)
+			}
+			holder.field = src
+		case OpRead:
+			if len(acc) == 0 {
+				continue
+			}
+			holder := acc[mod(op.A, len(acc))]
+			x := holder.field
+			if x == nil {
+				continue
+			}
+			// The defining condition: the read is entangled exactly when
+			// the target's heap is not an ancestor of the reader's node.
+			if !isAncestor(x.heap, h) {
+				in.stats.EntangledReads++
+				in.pin(x, h)
+			}
+			acc = append(acc, x)
+		}
+	}
+	if p.Left != nil {
+		lh := &bnode{parent: h, depth: h.depth + 1}
+		rh := &bnode{parent: h, depth: h.depth + 1}
+		// Sequential schedule (one worker, nothing stolen): left runs to
+		// completion, then right; both heaps merge at the join. The
+		// snapshot is capacity-clamped so the branches' appends cannot
+		// alias each other's lists.
+		snap := acc[:len(acc):len(acc)]
+		lacc := in.exec(p.Left, lh, snap)
+		racc := in.exec(p.Right, rh, snap)
+		in.merge(lh, h)
+		in.merge(rh, h)
+		// The continuation sees what both branches could reach.
+		acc = append(append([]*object{}, lacc...), racc...)
+		if p.After != nil {
+			acc = in.exec(p.After, h, acc)
+		}
+	}
+	return acc
+}
+
+// pinAt pins with an explicit unpin depth (entangled-write path).
+func (in *interp) pinAt(x *object, depth int) {
+	if x.pinned {
+		if depth < x.unpinDeep {
+			x.unpinDeep = depth
+		}
+		return
+	}
+	x.pinned = true
+	x.unpinDeep = depth
+	in.stats.Pins++
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}

@@ -1,0 +1,187 @@
+package semantics
+
+import (
+	"testing"
+
+	"mplgo/internal/mem"
+	"mplgo/internal/workload"
+	"mplgo/mpl"
+)
+
+// runOnRuntime executes a Program on the real runtime — one worker,
+// fork-time heaps, GC disabled (the accessible lists hold raw refs) — and
+// returns the runtime's entanglement statistics in reference form.
+func runOnRuntime(t *testing.T, p *Program) Stats {
+	t.Helper()
+	rt := mpl.New(mpl.Config{Procs: 1, DisableGC: true})
+	var exec func(tk *mpl.Task, p *Program, acc []mem.Value) []mem.Value
+	exec = func(tk *mpl.Task, p *Program, acc []mem.Value) []mem.Value {
+		for _, op := range p.Ops {
+			switch op.Kind {
+			case OpAlloc:
+				acc = append(acc, tk.AllocArray(1, mem.Nil).Value())
+			case OpWrite:
+				if len(acc) == 0 {
+					continue
+				}
+				holder := acc[mod(op.A, len(acc))].Ref()
+				src := acc[mod(op.B, len(acc))]
+				tk.Write(holder, 0, src)
+			case OpRead:
+				if len(acc) == 0 {
+					continue
+				}
+				holder := acc[mod(op.A, len(acc))].Ref()
+				v := tk.Read(holder, 0)
+				if v.IsRef() {
+					acc = append(acc, v)
+				}
+			}
+		}
+		if p.Left != nil {
+			snap := acc[:len(acc):len(acc)]
+			var lacc, racc []mem.Value
+			tk.Par(
+				func(tk *mpl.Task) mem.Value { lacc = exec(tk, p.Left, snap); return mem.Nil },
+				func(tk *mpl.Task) mem.Value { racc = exec(tk, p.Right, snap); return mem.Nil },
+			)
+			acc = append(append([]mem.Value{}, lacc...), racc...)
+			if p.After != nil {
+				acc = exec(tk, p.After, acc)
+			}
+		}
+		return acc
+	}
+	if _, err := rt.Run(func(tk *mpl.Task) mem.Value {
+		exec(tk, p, nil)
+		return mem.Nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := rt.EntStats()
+	return Stats{
+		EntangledReads:  s.EntangledReads,
+		EntangledWrites: s.EntangledWrites,
+		DownPointers:    s.DownPointers,
+		Pins:            s.Pins,
+		Unpins:          s.Unpins,
+	}
+}
+
+// genProgram builds a random program; all choices are seeded, so the
+// reference and the runtime execute identical operation sequences.
+func genProgram(rng *workload.RNG, depth int) *Program {
+	p := &Program{}
+	nops := 4 + rng.Intn(10)
+	for i := 0; i < nops; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			p.Ops = append(p.Ops, Op{Kind: OpAlloc})
+		case 4, 5, 6:
+			p.Ops = append(p.Ops, Op{Kind: OpWrite, A: rng.Intn(64), B: rng.Intn(64)})
+		default:
+			p.Ops = append(p.Ops, Op{Kind: OpRead, A: rng.Intn(64)})
+		}
+	}
+	if depth > 0 && rng.Intn(4) != 0 {
+		p.Left = genProgram(rng, depth-1)
+		p.Right = genProgram(rng, depth-1)
+		p.After = genProgram(rng, 0)
+	}
+	return p
+}
+
+// TestDifferentialEntanglement is the headline check: on hundreds of
+// random programs, the runtime's barrier-based entanglement accounting
+// must agree exactly with the reference semantics.
+func TestDifferentialEntanglement(t *testing.T) {
+	entangledPrograms := 0
+	for seed := uint64(1); seed <= 300; seed++ {
+		rng := workload.NewRNG(seed)
+		p := genProgram(rng, 4)
+		want := Run(p)
+		got := runOnRuntime(t, p)
+		if got != want {
+			t.Fatalf("seed %d: runtime %+v != reference %+v", seed, got, want)
+		}
+		if want.EntangledReads > 0 {
+			entangledPrograms++
+		}
+		if want.Pins != want.Unpins {
+			t.Fatalf("seed %d: reference pins %d != unpins %d", seed, want.Pins, want.Unpins)
+		}
+	}
+	// The generator must actually produce entanglement for the test to
+	// mean anything.
+	if entangledPrograms < 50 {
+		t.Fatalf("only %d/300 programs entangled; generator too tame", entangledPrograms)
+	}
+}
+
+// TestReferenceHandChecked pins the reference semantics itself on small
+// programs with known counts.
+func TestReferenceHandChecked(t *testing.T) {
+	// Root allocates o; left writes its own x into o (down-pointer);
+	// right reads o (entangled: x is left's) then reads again.
+	p := &Program{
+		Ops: []Op{{Kind: OpAlloc}}, // acc[0] = o
+		Left: &Program{Ops: []Op{
+			{Kind: OpAlloc},             // acc[1] = x (left's)
+			{Kind: OpWrite, A: 0, B: 1}, // o.f = x: down-pointer
+		}},
+		Right: &Program{Ops: []Op{
+			{Kind: OpRead, A: 0}, // entangled read of x
+			{Kind: OpRead, A: 0}, // again (re-counted, already pinned)
+		}},
+		After: &Program{Ops: []Op{
+			{Kind: OpRead, A: 0}, // after the join: x merged → disentangled
+		}},
+	}
+	s := Run(p)
+	want := Stats{EntangledReads: 2, DownPointers: 1, Pins: 1, Unpins: 1}
+	if s != want {
+		t.Fatalf("got %+v, want %+v", s, want)
+	}
+}
+
+func TestReferenceUpPointerFree(t *testing.T) {
+	// Child stores an ancestor object into its own object: up-pointer.
+	p := &Program{
+		Ops: []Op{{Kind: OpAlloc}}, // acc[0] root object
+		Left: &Program{Ops: []Op{
+			{Kind: OpAlloc},             // acc[1] own
+			{Kind: OpWrite, A: 1, B: 0}, // own.f = root: up
+			{Kind: OpRead, A: 1},        // read back: root is an ancestor
+		}},
+		Right: &Program{},
+		After: &Program{},
+	}
+	s := Run(p)
+	if s != (Stats{}) {
+		t.Fatalf("up-pointer program produced entanglement: %+v", s)
+	}
+}
+
+func TestReferenceEntangledWrite(t *testing.T) {
+	// Left publishes its object via the root holder; right acquires it and
+	// stores its OWN object into it: an entangled write pinning the stored
+	// object.
+	p := &Program{
+		Ops: []Op{{Kind: OpAlloc}}, // acc[0] = holder
+		Left: &Program{Ops: []Op{
+			{Kind: OpAlloc},             // left's object
+			{Kind: OpWrite, A: 0, B: 1}, // publish (down-pointer)
+		}},
+		Right: &Program{Ops: []Op{
+			{Kind: OpRead, A: 0},        // acquire left's object (entangled read, pin)
+			{Kind: OpAlloc},             // right's own y
+			{Kind: OpWrite, A: 1, B: 2}, // store y into left's object: entangled write, pin y
+		}},
+		After: &Program{},
+	}
+	s := Run(p)
+	want := Stats{EntangledReads: 1, EntangledWrites: 1, DownPointers: 1, Pins: 2, Unpins: 2}
+	if s != want {
+		t.Fatalf("got %+v, want %+v", s, want)
+	}
+}

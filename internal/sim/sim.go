@@ -1,0 +1,271 @@
+// Package sim provides the deterministic multiprocessor simulator used to
+// reproduce the paper's scalability experiments on a machine without 72
+// cores (see DESIGN.md, substitutions).
+//
+// Execution under the runtime records a series–parallel DAG: every task
+// segment accumulates abstract work (allocation words, barrier costs,
+// kernel operations, GC copying), and every Par creates a fork. Replay
+// schedules the recorded DAG on P virtual processors with work stealing:
+// a processor finishing a segment continues locally for free (its own
+// deque), while transfers between processors pay a steal latency. The
+// simulated makespan T_P obeys Brent's bound
+//
+//	W/P  ≤  T_P  ≤  W/P + c·S
+//
+// (W = total work, S = span), which the tests verify; speedup *shapes* —
+// who scales, where curves flatten — carry over from the cost model even
+// though absolute times are abstract.
+package sim
+
+import "container/heap"
+
+// Node is one vertex of the recorded series–parallel DAG. A node represents
+// a sequential segment of Work abstract cost, optionally followed by a fork
+// of Left and Right, whose join continues at After.
+type Node struct {
+	Work               int64
+	Left, Right, After *Node
+
+	parent  *Node
+	role    int8 // 0 left, 1 right, 2 after
+	pending int8
+}
+
+// NewTrace returns the root node of a fresh trace.
+func NewTrace() *Node { return &Node{} }
+
+// Fork attaches a fork to n and returns the left branch, right branch, and
+// continuation nodes. Subsequent work of the forking task is recorded into
+// the continuation.
+func (n *Node) Fork() (l, r, after *Node) {
+	l = &Node{parent: n, role: 0}
+	r = &Node{parent: n, role: 1}
+	after = &Node{parent: n, role: 2}
+	n.Left, n.Right, n.After = l, r, after
+	n.pending = 2
+	return l, r, after
+}
+
+// WorkSpan computes total work W and span (critical path) S of the DAG.
+func (n *Node) WorkSpan() (w, s int64) {
+	if n == nil {
+		return 0, 0
+	}
+	w, s = n.Work, n.Work
+	if n.Left != nil {
+		lw, ls := n.Left.WorkSpan()
+		rw, rs := n.Right.WorkSpan()
+		aw, as := n.After.WorkSpan()
+		w += lw + rw + aw
+		s += max64(ls, rs) + as
+	}
+	return w, s
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CountForks returns the number of forks in the DAG.
+func (n *Node) CountForks() int64 {
+	if n == nil || n.Left == nil {
+		return 0
+	}
+	return 1 + n.Left.CountForks() + n.Right.CountForks() + n.After.CountForks()
+}
+
+// ReplayConfig parameterizes a replay.
+type ReplayConfig struct {
+	P         int
+	StealCost int64 // virtual time to migrate a strand between processors
+}
+
+// ReplayResult reports the outcome of a replay.
+type ReplayResult struct {
+	Makespan int64
+	Steals   int64
+	// BusyPeak is the maximum number of simultaneously busy processors,
+	// used by the space model (more busy processors → more live nurseries).
+	BusyPeak int
+}
+
+// event is a strand completion.
+type event struct {
+	t    int64
+	proc int
+	n    *Node
+	seq  int64 // tie-break for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+type stamped struct {
+	n   *Node
+	t   int64 // push time
+	seq int64
+}
+
+// Replay schedules the DAG on cfg.P virtual processors and returns the
+// simulated makespan. Replay is deterministic: ties resolve by sequence
+// number, idle processors are matched to pushed strands oldest-first.
+func Replay(root *Node, cfg ReplayConfig) ReplayResult {
+	if cfg.P < 1 {
+		cfg.P = 1
+	}
+	resetPending(root)
+
+	var (
+		events  eventHeap
+		seq     int64
+		deques  = make([][]stamped, cfg.P)
+		parked  []int // processor ids idle with empty deques, FIFO
+		parkedT = make([]int64, cfg.P)
+		res     ReplayResult
+		busy    = 0
+	)
+	sched := func(t int64, p int, n *Node) {
+		seq++
+		heap.Push(&events, event{t + n.Work, p, n, seq})
+	}
+	// A push makes a strand available: hand it to a parked processor
+	// (paying the steal latency) or queue it on the pusher's deque.
+	push := func(t int64, p int, n *Node) {
+		if len(parked) > 0 {
+			q := parked[0]
+			parked = parked[1:]
+			start := max64(t, parkedT[q]) + cfg.StealCost
+			res.Steals++
+			busy++
+			if busy > res.BusyPeak {
+				res.BusyPeak = busy
+			}
+			sched(start, q, n)
+			return
+		}
+		seq++
+		deques[p] = append(deques[p], stamped{n, t, seq})
+	}
+	// steal finds the globally oldest queued strand, or nil.
+	steal := func() (stamped, bool) {
+		best := -1
+		for i := range deques {
+			if len(deques[i]) == 0 {
+				continue
+			}
+			if best == -1 || deques[i][0].seq < deques[best][0].seq {
+				best = i
+			}
+		}
+		if best == -1 {
+			return stamped{}, false
+		}
+		s := deques[best][0]
+		deques[best] = deques[best][1:]
+		return s, true
+	}
+
+	// Processors 1..P-1 start parked at time 0, waiting to steal.
+	for q := 1; q < cfg.P; q++ {
+		parked = append(parked, q)
+	}
+	busy = 1
+	res.BusyPeak = 1
+	sched(0, 0, root)
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		t, p, n := ev.t, ev.proc, ev.n
+		if t > res.Makespan {
+			res.Makespan = t
+		}
+		// Continuation of the finished strand.
+		var next *Node
+		if n.Left != nil {
+			push(t, p, n.Right)
+			next = n.Left
+		} else {
+			next = completeCascade(n)
+		}
+		if next == nil {
+			// Pop own deque (free), else steal (latency), else park.
+			if k := len(deques[p]); k > 0 {
+				next = deques[p][k-1].n
+				deques[p] = deques[p][:k-1]
+				sched(t, p, next)
+				continue
+			}
+			if s, ok := steal(); ok {
+				res.Steals++
+				sched(t+cfg.StealCost, p, s.n)
+				continue
+			}
+			busy--
+			parked = append(parked, p)
+			parkedT[p] = t
+			continue
+		}
+		sched(t, p, next)
+	}
+	return res
+}
+
+// completeCascade propagates a completed node upward: joins release their
+// continuation, completed continuations complete their fork node.
+func completeCascade(n *Node) *Node {
+	for {
+		par := n.parent
+		if par == nil {
+			return nil
+		}
+		if n.role == 2 {
+			n = par
+			continue
+		}
+		par.pending--
+		if par.pending == 0 {
+			return par.After
+		}
+		return nil
+	}
+}
+
+func resetPending(n *Node) {
+	if n == nil {
+		return
+	}
+	if n.Left != nil {
+		n.pending = 2
+		resetPending(n.Left)
+		resetPending(n.Right)
+		resetPending(n.After)
+	}
+}
+
+// SpeedupCurve replays the DAG for each processor count and returns
+// T_1 / T_P for each entry of ps.
+func SpeedupCurve(root *Node, ps []int, stealCost int64) []float64 {
+	t1 := Replay(root, ReplayConfig{P: 1, StealCost: stealCost}).Makespan
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		tp := Replay(root, ReplayConfig{P: p, StealCost: stealCost}).Makespan
+		if tp == 0 {
+			tp = 1
+		}
+		out[i] = float64(t1) / float64(tp)
+	}
+	return out
+}

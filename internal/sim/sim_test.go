@@ -1,0 +1,185 @@
+package sim
+
+import "testing"
+
+// buildBalanced constructs a balanced fork tree of the given depth where
+// every leaf does `leafWork` and interior segments cost `segWork`.
+func buildBalanced(depth int, leafWork, segWork int64) *Node {
+	root := NewTrace()
+	var rec func(n *Node, d int)
+	rec = func(n *Node, d int) {
+		if d == 0 {
+			n.Work = leafWork
+			return
+		}
+		n.Work = segWork
+		l, r, _ := n.Fork()
+		rec(l, d-1)
+		rec(r, d-1)
+	}
+	rec(root, depth)
+	return root
+}
+
+func TestWorkSpanLeaf(t *testing.T) {
+	n := NewTrace()
+	n.Work = 42
+	w, s := n.WorkSpan()
+	if w != 42 || s != 42 {
+		t.Fatalf("W,S = %d,%d", w, s)
+	}
+	if n.CountForks() != 0 {
+		t.Fatal("leaf has forks")
+	}
+}
+
+func TestWorkSpanBalanced(t *testing.T) {
+	// depth 3: 8 leaves of 100, 7 interior segments of 10.
+	root := buildBalanced(3, 100, 10)
+	w, s := root.WorkSpan()
+	if w != 8*100+7*10 {
+		t.Fatalf("W = %d", w)
+	}
+	// span: 3 interior segments + 1 leaf on the critical path.
+	if s != 3*10+100 {
+		t.Fatalf("S = %d", s)
+	}
+	if root.CountForks() != 7 {
+		t.Fatalf("forks = %d", root.CountForks())
+	}
+}
+
+func TestReplaySingleProcessorIsWork(t *testing.T) {
+	root := buildBalanced(6, 50, 5)
+	w, _ := root.WorkSpan()
+	res := Replay(root, ReplayConfig{P: 1, StealCost: 100})
+	if res.Makespan != w {
+		t.Fatalf("T_1 = %d, want W = %d (local pops must be free)", res.Makespan, w)
+	}
+	if res.Steals != 0 {
+		t.Fatalf("steals at P=1 = %d", res.Steals)
+	}
+	if res.BusyPeak != 1 {
+		t.Fatalf("BusyPeak = %d", res.BusyPeak)
+	}
+}
+
+func TestReplayBrentBound(t *testing.T) {
+	root := buildBalanced(10, 200, 3)
+	w, s := root.WorkSpan()
+	for _, p := range []int{1, 2, 4, 8, 16, 64} {
+		res := Replay(root, ReplayConfig{P: p, StealCost: 7})
+		lower := w / int64(p)
+		// Upper bound: W/P + c·S with a generous constant covering steal
+		// latency on every span vertex.
+		upper := w/int64(p) + 20*s + 20*7*int64(p)
+		if res.Makespan < lower {
+			t.Fatalf("P=%d: T_P=%d below W/P=%d", p, res.Makespan, lower)
+		}
+		if res.Makespan > upper {
+			t.Fatalf("P=%d: T_P=%d above Brent-style bound %d (W=%d S=%d)", p, res.Makespan, upper, w, s)
+		}
+	}
+}
+
+func TestReplaySpeedupGrows(t *testing.T) {
+	root := buildBalanced(12, 500, 2)
+	t1 := Replay(root, ReplayConfig{P: 1, StealCost: 5}).Makespan
+	t4 := Replay(root, ReplayConfig{P: 4, StealCost: 5}).Makespan
+	t16 := Replay(root, ReplayConfig{P: 16, StealCost: 5}).Makespan
+	if !(t16 < t4 && t4 < t1) {
+		t.Fatalf("no speedup: T1=%d T4=%d T16=%d", t1, t4, t16)
+	}
+	if s := float64(t1) / float64(t16); s < 8 {
+		t.Fatalf("speedup at P=16 only %.2f for a wide DAG", s)
+	}
+}
+
+func TestReplaySerialDAGNoSpeedup(t *testing.T) {
+	// A pure chain (no forks) cannot speed up.
+	root := NewTrace()
+	root.Work = 10000
+	t1 := Replay(root, ReplayConfig{P: 1, StealCost: 5}).Makespan
+	t8 := Replay(root, ReplayConfig{P: 8, StealCost: 5}).Makespan
+	if t1 != t8 {
+		t.Fatalf("serial DAG changed under P: %d vs %d", t1, t8)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	root := buildBalanced(9, 77, 3)
+	a := Replay(root, ReplayConfig{P: 5, StealCost: 11})
+	b := Replay(root, ReplayConfig{P: 5, StealCost: 11})
+	if a != b {
+		t.Fatalf("replay not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestReplayImbalanced(t *testing.T) {
+	// One heavy branch, one light: the makespan is dominated by the heavy
+	// branch; extra processors cannot beat it.
+	root := NewTrace()
+	l, r, _ := root.Fork()
+	l.Work = 100000
+	r.Work = 10
+	res := Replay(root, ReplayConfig{P: 8, StealCost: 1})
+	if res.Makespan < 100000 {
+		t.Fatalf("makespan %d beat the critical path", res.Makespan)
+	}
+	if res.Makespan > 100000+1000 {
+		t.Fatalf("makespan %d far above critical path", res.Makespan)
+	}
+}
+
+func TestReplayAfterSegments(t *testing.T) {
+	// Work recorded after a join must execute after both branches.
+	root := NewTrace()
+	root.Work = 10
+	l, r, after := root.Fork()
+	l.Work, r.Work = 20, 30
+	after.Work = 40
+	res := Replay(root, ReplayConfig{P: 2, StealCost: 0})
+	// Critical path: 10 + max(20,30) + 40 = 80.
+	if res.Makespan != 80 {
+		t.Fatalf("makespan = %d, want 80", res.Makespan)
+	}
+	w, s := root.WorkSpan()
+	if w != 100 || s != 80 {
+		t.Fatalf("W,S = %d,%d", w, s)
+	}
+}
+
+func TestReplayReusable(t *testing.T) {
+	// Replay must reset join counters so the same trace replays repeatedly.
+	root := buildBalanced(5, 10, 1)
+	first := Replay(root, ReplayConfig{P: 3, StealCost: 2})
+	second := Replay(root, ReplayConfig{P: 3, StealCost: 2})
+	if first != second {
+		t.Fatal("second replay of the same trace differs")
+	}
+}
+
+func TestSpeedupCurve(t *testing.T) {
+	root := buildBalanced(12, 300, 1)
+	ps := []int{1, 2, 4, 8}
+	curve := SpeedupCurve(root, ps, 3)
+	if len(curve) != 4 {
+		t.Fatal("curve length")
+	}
+	if curve[0] < 0.99 || curve[0] > 1.01 {
+		t.Fatalf("speedup at P=1 should be 1, got %f", curve[0])
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]*0.9 {
+			t.Fatalf("speedup curve collapsed: %v", curve)
+		}
+	}
+}
+
+func TestBusyPeak(t *testing.T) {
+	root := buildBalanced(6, 1000, 1)
+	res := Replay(root, ReplayConfig{P: 4, StealCost: 1})
+	if res.BusyPeak < 2 || res.BusyPeak > 4 {
+		t.Fatalf("BusyPeak = %d", res.BusyPeak)
+	}
+}

@@ -1,0 +1,88 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"mplgo/internal/bench"
+	"mplgo/internal/globalrt"
+	"mplgo/internal/sim"
+	"mplgo/mpl"
+)
+
+// STWRow is one row of the stop-the-world comparison (ablation A6): the
+// modeled parallel time of a classic global-heap collected runtime versus
+// the hierarchical runtime, at each processor count.
+//
+// The stop-the-world model runs the same program on the global-heap
+// runtime with DAG recording; its mutator work parallelizes by replay, but
+// its collection work (GCWork) is serialized — a global collector stops
+// every mutator — so
+//
+//	T_P(stw) = Replay(mutatorDAG, P) + GCWork
+//
+// while the hierarchical runtime's collection work is embedded in the
+// per-task segments of its own DAG and parallelizes with them. This is the
+// architectural reason hierarchical heaps win as P grows, independent of
+// constants.
+type STWRow struct {
+	Name      string
+	MPL       []int64 // modeled hierarchical T_P per entry of Ps (abstract work units)
+	STW       []int64 // modeled stop-the-world T_P
+	Crossover int     // first P where the hierarchical runtime wins, 0 if never
+}
+
+// STWBenchmarks are allocation-heavy benchmarks with substantial live data
+// — where collection work is a meaningful fraction of the total, so the
+// serialization of a global collector shows.
+var STWBenchmarks = []string{"msort", "treesum"}
+
+// STWTable prints the stop-the-world ablation.
+func STWTable(sizes map[string]int, w io.Writer) []STWRow {
+	var rows []STWRow
+	fmt.Fprintf(w, "# A6: hierarchical vs stop-the-world collection (modeled T_P, work units)\n")
+	fmt.Fprintf(w, "%-10s %8s", "benchmark", "runtime")
+	for _, p := range Ps {
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("P=%d", p))
+	}
+	fmt.Fprintln(w)
+	for _, name := range STWBenchmarks {
+		b, ok := bench.ByName(name)
+		if !ok {
+			continue
+		}
+		n := size(b, sizes)
+
+		// Hierarchical: small budget so both runtimes actually collect.
+		rt := mpl.New(mpl.Config{Procs: 1, Record: true, HeapBudgetWords: 1 << 14})
+		if _, err := rt.Run(func(t *mpl.Task) mpl.Value { return mpl.Int(b.MPL(t, n)) }); err != nil {
+			panic(err)
+		}
+		// Stop-the-world: same budget, recorded mutator DAG + serial GC work.
+		g := globalrt.NewRecording(1 << 14)
+		b.Global(g, n)
+
+		row := STWRow{Name: name}
+		for _, p := range Ps {
+			mplT := sim.Replay(rt.Trace(), sim.ReplayConfig{P: p, StealCost: StealCost}).Makespan
+			stwT := sim.Replay(g.Trace(), sim.ReplayConfig{P: p, StealCost: StealCost}).Makespan + g.GCWork
+			row.MPL = append(row.MPL, mplT)
+			row.STW = append(row.STW, stwT)
+			if row.Crossover == 0 && mplT < stwT {
+				row.Crossover = p
+			}
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-10s %8s", name, "mpl")
+		for _, v := range row.MPL {
+			fmt.Fprintf(w, " %12d", v)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-10s %8s", "", "stw")
+		for _, v := range row.STW {
+			fmt.Fprintf(w, " %12d", v)
+		}
+		fmt.Fprintf(w, "   (crossover P=%d)\n", row.Crossover)
+	}
+	return rows
+}

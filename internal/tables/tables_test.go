@@ -1,0 +1,175 @@
+package tables
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mplgo/internal/bench"
+)
+
+// tiny sizes so the experiment drivers run fast under test.
+var tiny = map[string]int{
+	"fib": 18, "mcss": 10_000, "primes": 4_000, "integrate": 20_000,
+	"nqueens": 6, "msort": 4_000, "quickhull": 3_000, "tokens": 20_000,
+	"wc": 20_000, "spmv": 100, "dedup": 3_000, "bfs": 3_000,
+	"counter": 2_000, "memoize": 5_000, "pipeline": 3_000,
+	"grep": 20_000, "histogram": 8_000, "filter": 20_000,
+	"treesum": 9, "matmul": 20,
+}
+
+func TestTimeTable(t *testing.T) {
+	var buf bytes.Buffer
+	rows := TimeTable(tiny, &buf)
+	if len(rows) != len(bench.All) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Tseq <= 0 || r.T1 <= 0 || r.T64 <= 0 {
+			t.Fatalf("%s: non-positive times %+v", r.Name, r)
+		}
+		if r.Overhead <= 0 {
+			t.Fatalf("%s: bad overhead", r.Name)
+		}
+		// The simulated T64 must never exceed T1 by more than noise:
+		// parallelism cannot make the replayed DAG slower.
+		if r.T64 > r.T1*3/2 {
+			t.Fatalf("%s: T64 %v far above T1 %v", r.Name, r.T64, r.T1)
+		}
+	}
+	if !strings.Contains(buf.String(), "benchmark") {
+		t.Fatal("no header printed")
+	}
+}
+
+func TestSpaceTable(t *testing.T) {
+	var buf bytes.Buffer
+	rows := SpaceTable(tiny, &buf)
+	if len(rows) != len(bench.All) {
+		t.Fatal("row count")
+	}
+	for _, r := range rows {
+		if r.Rseq == 0 && r.R1 == 0 {
+			continue // allocation-free at this size (tiny fib)
+		}
+		if r.Rseq <= 0 || r.R1 <= 0 || r.R64 < r.R1 {
+			t.Fatalf("%s: bad residency %+v", r.Name, r)
+		}
+	}
+}
+
+func TestSpeedupFigure(t *testing.T) {
+	var buf bytes.Buffer
+	series := SpeedupFigure(tiny, &buf)
+	if len(series) != len(SpeedupFigureBenchmarks) {
+		t.Fatal("series count")
+	}
+	for _, s := range series {
+		if len(s.Speedup) != len(Ps) {
+			t.Fatalf("%s: curve length", s.Name)
+		}
+		if s.Speedup[0] < 0.99 || s.Speedup[0] > 1.01 {
+			t.Fatalf("%s: speedup at P=1 is %f", s.Name, s.Speedup[0])
+		}
+		// Some speedup must materialize by P=64 for these scalable
+		// benchmarks, even at tiny sizes.
+		last := s.Speedup[len(s.Speedup)-1]
+		if last < 1.5 {
+			t.Fatalf("%s: no speedup by P=64 (%.2f)", s.Name, last)
+		}
+	}
+}
+
+func TestLangTable(t *testing.T) {
+	var buf bytes.Buffer
+	rows := LangTable(tiny, &buf)
+	if len(rows) != len(LangBenchmarks) {
+		t.Fatal("row count")
+	}
+	for _, r := range rows {
+		if r.TNative <= 0 || r.T1 <= 0 {
+			t.Fatalf("%s: bad times", r.Name)
+		}
+		if r.Vs1 <= 0 {
+			t.Fatalf("%s: bad ratio", r.Name)
+		}
+	}
+}
+
+func TestEntangleTable(t *testing.T) {
+	var buf bytes.Buffer
+	rows := EntangleTable(tiny, &buf)
+	for _, r := range rows {
+		if r.Entangled {
+			if r.EntangledReads == 0 || r.Pins == 0 {
+				t.Fatalf("%s: entangled benchmark shows no entanglement: %+v", r.Name, r)
+			}
+			// Every pin is matched by an unpin once all joins complete:
+			// entanglement cost is transient (the paper's bound).
+			if r.Pins != r.Unpins {
+				t.Fatalf("%s: pins %d != unpins %d", r.Name, r.Pins, r.Unpins)
+			}
+		} else {
+			// Shielding: disentangled programs pay nothing.
+			if r.EntangledReads != 0 || r.Pins != 0 || r.EntangledWrite != 0 {
+				t.Fatalf("%s: disentangled benchmark entangled: %+v", r.Name, r)
+			}
+		}
+	}
+}
+
+func TestAblateFigure(t *testing.T) {
+	var buf bytes.Buffer
+	rows := AblateFigure(tiny, &buf)
+	for _, r := range rows {
+		if r.Entangled && !r.Aborted {
+			t.Fatalf("%s: detect mode accepted an entangled program", r.Name)
+		}
+		if !r.Entangled && r.Aborted {
+			t.Fatalf("%s: detect mode rejected a disentangled program", r.Name)
+		}
+		if !r.Entangled && r.TUnsafe <= 0 {
+			t.Fatalf("%s: missing unsafe-mode time", r.Name)
+		}
+	}
+}
+
+func TestSpaceFigure(t *testing.T) {
+	var buf bytes.Buffer
+	curves := SpaceFigure(tiny, &buf)
+	if len(curves) != len(SpaceCurveBenchmarks) {
+		t.Fatal("curve count")
+	}
+	for _, c := range curves {
+		for i := 1; i < len(c.R); i++ {
+			if c.R[i] < c.R[i-1] {
+				t.Fatalf("%s: residency decreased with processors: %v", c.Name, c.R)
+			}
+		}
+	}
+}
+
+func TestSTWTable(t *testing.T) {
+	// Sizes large enough that both runtimes actually collect (the tiny
+	// sizes fit in the collection budget and the runtimes tie).
+	sizes := map[string]int{"msort": 12_000, "treesum": 13}
+	var buf bytes.Buffer
+	rows := STWTable(sizes, &buf)
+	if len(rows) != len(STWBenchmarks) {
+		t.Fatal("row count")
+	}
+	for _, r := range rows {
+		if len(r.MPL) != len(Ps) || len(r.STW) != len(Ps) {
+			t.Fatalf("%s: curve lengths", r.Name)
+		}
+		// The architectural claim: with enough processors, the runtime
+		// whose collections parallelize must win.
+		if r.Crossover == 0 {
+			t.Fatalf("%s: hierarchical never beat stop-the-world: mpl=%v stw=%v",
+				r.Name, r.MPL, r.STW)
+		}
+		if r.Crossover > 16 {
+			t.Fatalf("%s: crossover only at P=%d", r.Name, r.Crossover)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package workload generates the deterministic inputs of the benchmark
+// suite. Every generator is a pure function of its seed, so the
+// hierarchical-runtime, global-heap, and native implementations of each
+// benchmark operate on identical data and their checksums must agree.
+package workload
+
+// RNG is a splitmix64 generator: tiny, fast, and stable across platforms.
+type RNG struct{ state uint64 }
+
+// NewRNG creates a generator from a seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Next() >> 1) }
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Ints returns n values in [0, max).
+func Ints(seed uint64, n int, max int64) []int64 {
+	r := NewRNG(seed)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(r.Next() % uint64(max))
+	}
+	return out
+}
+
+// Points returns n 2-D points with coordinates in [-max, max].
+func Points(seed uint64, n int, max int64) [][2]int64 {
+	r := NewRNG(seed)
+	out := make([][2]int64, n)
+	for i := range out {
+		out[i][0] = int64(r.Next()%uint64(2*max+1)) - max
+		out[i][1] = int64(r.Next()%uint64(2*max+1)) - max
+	}
+	return out
+}
+
+// Text returns a pseudo-natural text of roughly n bytes: words of 1–10
+// lowercase letters separated by spaces, with newlines every ~12 words.
+func Text(seed uint64, n int) string {
+	r := NewRNG(seed)
+	buf := make([]byte, 0, n+16)
+	words := 0
+	for len(buf) < n {
+		wl := 1 + r.Intn(10)
+		for i := 0; i < wl; i++ {
+			buf = append(buf, byte('a'+r.Intn(26)))
+		}
+		words++
+		if words%12 == 0 {
+			buf = append(buf, '\n')
+		} else {
+			buf = append(buf, ' ')
+		}
+	}
+	return string(buf)
+}
+
+// Strings returns n short strings drawn from a pool of `distinct` values,
+// for the dedup benchmark.
+func Strings(seed uint64, n, distinct int) []string {
+	r := NewRNG(seed)
+	pool := make([]string, distinct)
+	for i := range pool {
+		b := make([]byte, 8)
+		for j := range b {
+			b[j] = byte('a' + r.Intn(26))
+		}
+		pool[i] = string(b)
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = pool[r.Intn(distinct)]
+	}
+	return out
+}
+
+// Graph returns a connected undirected graph as adjacency lists: n
+// vertices, a spanning backbone, plus ~deg extra edges per vertex.
+func Graph(seed uint64, n, deg int) [][]int32 {
+	r := NewRNG(seed)
+	adj := make([][]int32, n)
+	add := func(a, b int) {
+		adj[a] = append(adj[a], int32(b))
+		adj[b] = append(adj[b], int32(a))
+	}
+	for v := 1; v < n; v++ {
+		add(v, r.Intn(v)) // backbone keeps the graph connected
+	}
+	extra := n * deg / 2
+	for i := 0; i < extra; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			add(a, b)
+		}
+	}
+	return adj
+}
+
+// CSR returns a sparse matrix in compressed-sparse-row form: rows×rows,
+// nnz entries per row, values in [1, 100].
+func CSR(seed uint64, rows, nnzPerRow int) (rowPtr []int32, col []int32, val []int64) {
+	r := NewRNG(seed)
+	rowPtr = make([]int32, rows+1)
+	col = make([]int32, 0, rows*nnzPerRow)
+	val = make([]int64, 0, rows*nnzPerRow)
+	for i := 0; i < rows; i++ {
+		rowPtr[i] = int32(len(col))
+		for k := 0; k < nnzPerRow; k++ {
+			col = append(col, int32(r.Intn(rows)))
+			val = append(val, int64(1+r.Intn(100)))
+		}
+	}
+	rowPtr[rows] = int32(len(col))
+	return rowPtr, col, val
+}

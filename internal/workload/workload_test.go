@@ -1,0 +1,132 @@
+package workload
+
+import "testing"
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Next() == NewRNG(2).Next() {
+		t.Fatal("different seeds collided immediately")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) covered only %d values", len(seen))
+	}
+}
+
+func TestInts(t *testing.T) {
+	xs := Ints(3, 1000, 50)
+	if len(xs) != 1000 {
+		t.Fatal("length")
+	}
+	for _, x := range xs {
+		if x < 0 || x >= 50 {
+			t.Fatalf("out of range: %d", x)
+		}
+	}
+}
+
+func TestPointsRange(t *testing.T) {
+	ps := Points(5, 500, 100)
+	for _, p := range ps {
+		if p[0] < -100 || p[0] > 100 || p[1] < -100 || p[1] > 100 {
+			t.Fatalf("point out of range: %v", p)
+		}
+	}
+}
+
+func TestTextShape(t *testing.T) {
+	s := Text(11, 10000)
+	if len(s) < 10000 {
+		t.Fatal("text too short")
+	}
+	hasSpace, hasNewline := false, false
+	for _, c := range s {
+		switch {
+		case c == ' ':
+			hasSpace = true
+		case c == '\n':
+			hasNewline = true
+		case c < 'a' || c > 'z':
+			t.Fatalf("unexpected byte %q", c)
+		}
+	}
+	if !hasSpace || !hasNewline {
+		t.Fatal("text lacks separators")
+	}
+}
+
+func TestStringsPool(t *testing.T) {
+	ss := Strings(9, 10000, 100)
+	distinct := map[string]bool{}
+	for _, s := range ss {
+		distinct[s] = true
+	}
+	if len(distinct) > 100 {
+		t.Fatalf("more distinct strings than the pool: %d", len(distinct))
+	}
+	if len(distinct) < 50 {
+		t.Fatalf("suspiciously few distinct strings: %d", len(distinct))
+	}
+}
+
+func TestGraphConnectedShape(t *testing.T) {
+	adj := Graph(13, 2000, 4)
+	if len(adj) != 2000 {
+		t.Fatal("vertex count")
+	}
+	// BFS reaches everything (backbone guarantees connectivity).
+	seen := make([]bool, len(adj))
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				queue = append(queue, u)
+			}
+		}
+	}
+	if count != len(adj) {
+		t.Fatalf("graph not connected: reached %d of %d", count, len(adj))
+	}
+}
+
+func TestCSRShape(t *testing.T) {
+	rowPtr, col, val := CSR(17, 100, 8)
+	if len(rowPtr) != 101 || len(col) != 800 || len(val) != 800 {
+		t.Fatal("CSR geometry")
+	}
+	for i := 0; i < 100; i++ {
+		if rowPtr[i+1]-rowPtr[i] != 8 {
+			t.Fatal("row nnz")
+		}
+	}
+	for i, c := range col {
+		if c < 0 || c >= 100 {
+			t.Fatalf("col out of range: %d", c)
+		}
+		if val[i] < 1 || val[i] > 100 {
+			t.Fatalf("val out of range: %d", val[i])
+		}
+	}
+}

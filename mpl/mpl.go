@@ -1,0 +1,106 @@
+// Package mpl is the public API of mplgo: a Go reproduction of the
+// hierarchical-heap parallel runtime with entanglement management from
+//
+//	Arora, Westrick, Acar. "Efficient Parallel Functional Programming
+//	with Effects." PLDI 2023.
+//
+// The runtime executes nested fork–join programs over a simulated heap of
+// tagged values. Memory is organized as a tree of heaps mirroring the task
+// tree; tasks allocate and collect independently (hierarchical memory
+// management), and unrestricted effects — including communication between
+// concurrent tasks — are supported by managing entanglement: objects
+// acquired across concurrent heaps are pinned until the tasks involved
+// join, while disentangled objects pay only a one-test barrier.
+//
+// # Quick start
+//
+//	rt := mpl.New(mpl.Config{Procs: 4})
+//	v, err := rt.Run(func(t *mpl.Task) mpl.Value {
+//		a, b := t.Par(
+//			func(t *mpl.Task) mpl.Value { return mpl.Int(21) },
+//			func(t *mpl.Task) mpl.Value { return mpl.Int(21) },
+//		)
+//		return mpl.Int(a.AsInt() + b.AsInt())
+//	})
+//
+// # GC discipline
+//
+// Local collections move objects and run only inside allocation calls.
+// References held in Go variables across an allocation must be registered
+// in a Frame (Task.NewFrame); arguments passed to allocation calls are
+// protected automatically.
+package mpl
+
+import (
+	"mplgo/internal/core"
+	"mplgo/internal/entangle"
+	"mplgo/internal/mem"
+	"mplgo/internal/sim"
+)
+
+// Value is a tagged word: a 63-bit integer, a reference, or Nil.
+type Value = mem.Value
+
+// Ref is a reference to a heap object.
+type Ref = mem.Ref
+
+// Nil is the null reference value.
+const Nil = mem.Nil
+
+// Int makes an immediate integer value.
+func Int(i int64) Value { return mem.Int(i) }
+
+// Bool makes an immediate boolean value.
+func Bool(b bool) Value { return mem.Bool(b) }
+
+// Task is a strand of the fork–join computation; all heap access goes
+// through it so the entanglement barriers run.
+type Task = core.Task
+
+// Frame is a window of a task's shadow stack; its slots are GC roots.
+type Frame = core.Frame
+
+// Config parameterizes a Runtime.
+type Config = core.Config
+
+// Runtime is one instance of the hierarchical-heap runtime.
+type Runtime = core.Runtime
+
+// Mode selects how the runtime responds to entanglement.
+type Mode = entangle.Mode
+
+// Entanglement modes.
+const (
+	// Manage pins entangled objects and proceeds (the paper).
+	Manage = entangle.Manage
+	// Detect reports entanglement as an error (MPL before the paper).
+	Detect = entangle.Detect
+	// Unsafe disables the barriers (ablation only).
+	Unsafe = entangle.Unsafe
+)
+
+// ErrEntangled is returned by Run in Detect mode when the program
+// entangles.
+var ErrEntangled = entangle.ErrEntangled
+
+// New creates a runtime. A runtime executes one computation via Run.
+func New(cfg Config) *Runtime { return core.New(cfg) }
+
+// Run is a convenience wrapper: create a runtime with cfg and run f.
+func Run(cfg Config, f func(*Task) Value) (Value, error) {
+	return New(cfg).Run(f)
+}
+
+// Speedup estimates the speedup of the runtime's recorded computation at
+// each processor count in ps, by replaying the trace on the deterministic
+// multiprocessor simulator. The runtime must have been created with
+// Config.Record set and have completed its Run. stealCost is the simulated
+// strand-migration latency in abstract work units (≈ words); 200 matches
+// the experiment harness.
+func Speedup(rt *Runtime, ps []int, stealCost int64) []float64 {
+	trace := rt.Trace()
+	if trace == nil {
+		return nil
+	}
+	return sim.SpeedupCurve(trace, ps, stealCost)
+}

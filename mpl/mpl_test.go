@@ -1,0 +1,87 @@
+package mpl_test
+
+import (
+	"errors"
+	"testing"
+
+	"mplgo/mpl"
+)
+
+func TestRunWrapper(t *testing.T) {
+	v, err := mpl.Run(mpl.Config{Procs: 2}, func(tk *mpl.Task) mpl.Value {
+		a, b := tk.Par(
+			func(tk *mpl.Task) mpl.Value { return mpl.Int(20) },
+			func(tk *mpl.Task) mpl.Value { return mpl.Int(22) },
+		)
+		return mpl.Int(a.AsInt() + b.AsInt())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 42 {
+		t.Fatalf("got %d", v.AsInt())
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if mpl.Int(5).AsInt() != 5 || !mpl.Bool(true).AsBool() {
+		t.Fatal("value helpers broken")
+	}
+	if !mpl.Value(mpl.Nil).IsNil() {
+		t.Fatal("Nil broken")
+	}
+}
+
+func TestSpeedupRequiresRecording(t *testing.T) {
+	rt := mpl.New(mpl.Config{Procs: 1})
+	if _, err := rt.Run(func(tk *mpl.Task) mpl.Value { return mpl.Nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := mpl.Speedup(rt, []int{2, 4}, 100); got != nil {
+		t.Fatalf("Speedup without recording = %v, want nil", got)
+	}
+}
+
+func TestSpeedupWithRecording(t *testing.T) {
+	rt := mpl.New(mpl.Config{Procs: 1, Record: true})
+	if _, err := rt.Run(func(tk *mpl.Task) mpl.Value {
+		tk.ParFor(0, 1<<14, 64, func(tk *mpl.Task, lo, hi int) {
+			tk.Work(int64(hi-lo) * 100)
+		})
+		return mpl.Nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	curve := mpl.Speedup(rt, []int{1, 8}, 10)
+	if len(curve) != 2 || curve[1] < 4 {
+		t.Fatalf("curve = %v", curve)
+	}
+}
+
+func TestErrEntangledExported(t *testing.T) {
+	rt := mpl.New(mpl.Config{Procs: 1, Mode: mpl.Detect})
+	_, err := rt.Run(func(tk *mpl.Task) mpl.Value {
+		shared := tk.AllocArray(1, mpl.Nil)
+		tk.Par(
+			func(l *mpl.Task) mpl.Value {
+				l.Write(shared, 0, l.AllocTuple(mpl.Int(1)).Value())
+				return mpl.Nil
+			},
+			func(r *mpl.Task) mpl.Value { return r.Read(shared, 0) },
+		)
+		return mpl.Nil
+	})
+	if !errors.Is(err, mpl.ErrEntangled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestModesExported(t *testing.T) {
+	for _, m := range []mpl.Mode{mpl.Manage, mpl.Detect, mpl.Unsafe} {
+		if _, err := mpl.Run(mpl.Config{Procs: 1, Mode: m}, func(tk *mpl.Task) mpl.Value {
+			return mpl.Int(1)
+		}); err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+	}
+}

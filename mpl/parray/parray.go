@@ -1,0 +1,242 @@
+// Package parray provides data-parallel operations over heap arrays on the
+// mpl runtime — the ParlayLib-style layer the paper's benchmarks are
+// written against: tabulate, map, reduce, scan, filter, and a parallel
+// sort. All operations follow the runtime's GC discipline internally
+// (shared arrays are frame-rooted across allocation points), so callers
+// compose them freely.
+//
+// Operations that take element functions invoke them on the worker task
+// executing each leaf; functions must be safe for concurrent invocation on
+// disjoint indices (pure functions and task-local effects are; shared
+// effects through the runtime's CAS are too).
+package parray
+
+import (
+	"mplgo/mpl"
+)
+
+// Tabulate builds the array [| f(0), ..., f(n-1) |] in parallel.
+func Tabulate(t *mpl.Task, n, grain int, f func(t *mpl.Task, i int) mpl.Value) mpl.Ref {
+	fr := t.NewFrame(1)
+	fr.Set(0, t.AllocArray(n, mpl.Nil).Value())
+	t.ParFor(0, n, grain, func(t *mpl.Task, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.Write(fr.Ref(0), i, f(t, i))
+		}
+	})
+	out := fr.Ref(0)
+	fr.Pop()
+	return out
+}
+
+// FromInts materializes a Go slice of integers as a heap array, filling in
+// parallel.
+func FromInts(t *mpl.Task, xs []int64) mpl.Ref {
+	return Tabulate(t, len(xs), 8192, func(t *mpl.Task, i int) mpl.Value {
+		return mpl.Int(xs[i])
+	})
+}
+
+// ToInts extracts an integer array into a Go slice.
+func ToInts(t *mpl.Task, arr mpl.Ref) []int64 {
+	n := t.Length(arr)
+	out := make([]int64, n)
+	t.ParFor(0, n, 8192, func(t *mpl.Task, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = t.Read(arr, i).AsInt()
+		}
+	})
+	return out
+}
+
+// Map builds [| f(a[0]), ..., f(a[n-1]) |] in parallel.
+func Map(t *mpl.Task, arr mpl.Ref, grain int, f func(t *mpl.Task, v mpl.Value) mpl.Value) mpl.Ref {
+	n := t.Length(arr)
+	fr := t.NewFrame(2)
+	fr.Set(0, arr.Value())
+	fr.Set(1, t.AllocArray(n, mpl.Nil).Value())
+	t.ParFor(0, n, grain, func(t *mpl.Task, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.Write(fr.Ref(1), i, f(t, t.Read(fr.Ref(0), i)))
+		}
+	})
+	out := fr.Ref(1)
+	fr.Pop()
+	return out
+}
+
+// ReduceInt folds an integer array with an associative combiner and its
+// identity z, by parallel binary splitting.
+func ReduceInt(t *mpl.Task, arr mpl.Ref, grain int, z int64, combine func(a, b int64) int64) int64 {
+	n := t.Length(arr)
+	var rec func(t *mpl.Task, lo, hi int) int64
+	rec = func(t *mpl.Task, lo, hi int) int64 {
+		if hi-lo <= grain {
+			acc := z
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, t.Read(arr, i).AsInt())
+			}
+			return acc
+		}
+		mid := lo + (hi-lo)/2
+		a, b := t.Par(
+			func(t *mpl.Task) mpl.Value { return mpl.Int(rec(t, lo, mid)) },
+			func(t *mpl.Task) mpl.Value { return mpl.Int(rec(t, mid, hi)) },
+		)
+		return combine(a.AsInt(), b.AsInt())
+	}
+	return rec(t, 0, n)
+}
+
+// SumInt is ReduceInt with addition.
+func SumInt(t *mpl.Task, arr mpl.Ref, grain int) int64 {
+	return ReduceInt(t, arr, grain, 0, func(a, b int64) int64 { return a + b })
+}
+
+// ScanInt computes the exclusive prefix sums of an integer array in
+// parallel (two-pass, block-based) and returns the output array plus the
+// total.
+func ScanInt(t *mpl.Task, arr mpl.Ref, grain int) (mpl.Ref, int64) {
+	n := t.Length(arr)
+	if grain < 1 {
+		grain = 1
+	}
+	nblocks := (n + grain - 1) / grain
+	sums := make([]int64, nblocks)
+	fr := t.NewFrame(2)
+	fr.Set(0, arr.Value())
+	// Pass 1: per-block totals.
+	t.ParFor(0, nblocks, 1, func(t *mpl.Task, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			var s int64
+			end := minInt((b+1)*grain, n)
+			for i := b * grain; i < end; i++ {
+				s += t.Read(fr.Ref(0), i).AsInt()
+			}
+			sums[b] = s
+		}
+	})
+	// Exclusive scan of block totals (nblocks ≪ n: sequential).
+	var total int64
+	for b := range sums {
+		sums[b], total = total, total+sums[b]
+	}
+	// Pass 2: write prefixes.
+	fr.Set(1, t.AllocArray(n, mpl.Int(0)).Value())
+	t.ParFor(0, nblocks, 1, func(t *mpl.Task, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			acc := sums[b]
+			end := minInt((b+1)*grain, n)
+			for i := b * grain; i < end; i++ {
+				t.Write(fr.Ref(1), i, mpl.Int(acc))
+				acc += t.Read(fr.Ref(0), i).AsInt()
+			}
+		}
+	})
+	out := fr.Ref(1)
+	fr.Pop()
+	return out, total
+}
+
+// Filter keeps the elements for which keep returns true, preserving order,
+// using a flags pass, a scan, and a parallel pack.
+func Filter(t *mpl.Task, arr mpl.Ref, grain int, keep func(t *mpl.Task, v mpl.Value) bool) mpl.Ref {
+	n := t.Length(arr)
+	fr := t.NewFrame(3)
+	fr.Set(0, arr.Value())
+	fr.Set(1, t.AllocArray(n, mpl.Int(0)).Value())
+	t.ParFor(0, n, grain, func(t *mpl.Task, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if keep(t, t.Read(fr.Ref(0), i)) {
+				t.Write(fr.Ref(1), i, mpl.Int(1))
+			}
+		}
+	})
+	offsets, total := ScanInt(t, fr.Ref(1), grain)
+	fr.Set(1, offsets.Value())
+	fr.Set(2, t.AllocArray(int(total), mpl.Nil).Value())
+	t.ParFor(0, n, grain, func(t *mpl.Task, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := t.Read(fr.Ref(0), i)
+			if keep(t, v) {
+				t.Write(fr.Ref(2), int(t.Read(fr.Ref(1), i).AsInt()), v)
+			}
+		}
+	})
+	out := fr.Ref(2)
+	fr.Pop()
+	return out
+}
+
+// SortInt sorts an integer array (ascending) with parallel mergesort,
+// returning a fresh array.
+func SortInt(t *mpl.Task, arr mpl.Ref, grain int) mpl.Ref {
+	if grain < 8 {
+		grain = 8
+	}
+	var rec func(t *mpl.Task, lo, hi int) mpl.Ref
+	rec = func(t *mpl.Task, lo, hi int) mpl.Ref {
+		n := hi - lo
+		if n <= grain {
+			fr := t.NewFrame(1)
+			fr.Set(0, arr.Value())
+			out := t.AllocArray(n, mpl.Int(0))
+			src := fr.Ref(0)
+			fr.Pop()
+			for i := 0; i < n; i++ {
+				t.Write(out, i, t.Read(src, lo+i))
+			}
+			for i := 1; i < n; i++ {
+				v := t.Read(out, i)
+				j := i - 1
+				for j >= 0 && t.Read(out, j).AsInt() > v.AsInt() {
+					t.Write(out, j+1, t.Read(out, j))
+					j--
+				}
+				t.Write(out, j+1, v)
+			}
+			return out
+		}
+		mid := lo + n/2
+		lv, rv := t.Par(
+			func(t *mpl.Task) mpl.Value { return rec(t, lo, mid).Value() },
+			func(t *mpl.Task) mpl.Value { return rec(t, mid, hi).Value() },
+		)
+		fr := t.NewFrame(2)
+		fr.Set(0, lv)
+		fr.Set(1, rv)
+		out := t.AllocArray(n, mpl.Int(0))
+		l, r := fr.Ref(0), fr.Ref(1)
+		i, j, k := 0, 0, 0
+		ln, rn := t.Length(l), t.Length(r)
+		for i < ln && j < rn {
+			a, b := t.Read(l, i), t.Read(r, j)
+			if a.AsInt() <= b.AsInt() {
+				t.Write(out, k, a)
+				i++
+			} else {
+				t.Write(out, k, b)
+				j++
+			}
+			k++
+		}
+		for ; i < ln; i++ {
+			t.Write(out, k, t.Read(l, i))
+			k++
+		}
+		for ; j < rn; j++ {
+			t.Write(out, k, t.Read(r, j))
+			k++
+		}
+		fr.Pop()
+		return out
+	}
+	return rec(t, 0, t.Length(arr))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

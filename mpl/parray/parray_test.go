@@ -1,0 +1,220 @@
+package parray
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mplgo/internal/workload"
+	"mplgo/mpl"
+)
+
+// run executes f on a fresh runtime with the given config and fails on
+// entanglement errors.
+func run(t *testing.T, cfg mpl.Config, f func(tk *mpl.Task)) {
+	t.Helper()
+	if _, err := mpl.Run(cfg, func(tk *mpl.Task) mpl.Value {
+		f(tk)
+		return mpl.Nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// configs exercises the operations across processor counts and GC budgets.
+var configs = []mpl.Config{
+	{Procs: 1},
+	{Procs: 1, HeapBudgetWords: 2048},
+	{Procs: 4, HeapBudgetWords: 1 << 14},
+}
+
+func TestTabulateAndToInts(t *testing.T) {
+	for _, cfg := range configs {
+		run(t, cfg, func(tk *mpl.Task) {
+			arr := Tabulate(tk, 1000, 64, func(tk *mpl.Task, i int) mpl.Value {
+				return mpl.Int(int64(i * 3))
+			})
+			xs := ToInts(tk, arr)
+			for i, x := range xs {
+				if x != int64(i*3) {
+					t.Fatalf("cfg %+v: xs[%d] = %d", cfg, i, x)
+				}
+			}
+		})
+	}
+}
+
+func TestMapReduce(t *testing.T) {
+	for _, cfg := range configs {
+		run(t, cfg, func(tk *mpl.Task) {
+			arr := FromInts(tk, workload.Ints(3, 2000, 100))
+			sq := Map(tk, arr, 64, func(tk *mpl.Task, v mpl.Value) mpl.Value {
+				return mpl.Int(v.AsInt() * v.AsInt())
+			})
+			got := SumInt(tk, sq, 64)
+			var want int64
+			for _, x := range workload.Ints(3, 2000, 100) {
+				want += x * x
+			}
+			if got != want {
+				t.Fatalf("cfg %+v: sum = %d, want %d", cfg, got, want)
+			}
+		})
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	run(t, mpl.Config{Procs: 2}, func(tk *mpl.Task) {
+		xs := workload.Ints(9, 5000, 1_000_000)
+		arr := FromInts(tk, xs)
+		got := ReduceInt(tk, arr, 128, -1, func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		want := int64(-1)
+		for _, x := range xs {
+			if x > want {
+				want = x
+			}
+		}
+		if got != want {
+			t.Fatalf("max = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestScan(t *testing.T) {
+	for _, cfg := range configs {
+		run(t, cfg, func(tk *mpl.Task) {
+			xs := workload.Ints(5, 3000, 50)
+			arr := FromInts(tk, xs)
+			prefixes, total := ScanInt(tk, arr, 256)
+			var acc int64
+			for i, x := range xs {
+				if got := tk.Read(prefixes, i).AsInt(); got != acc {
+					t.Fatalf("cfg %+v: prefix[%d] = %d, want %d", cfg, i, got, acc)
+				}
+				acc += x
+			}
+			if total != acc {
+				t.Fatalf("cfg %+v: total = %d, want %d", cfg, total, acc)
+			}
+		})
+	}
+}
+
+func TestScanEmptyAndSingleton(t *testing.T) {
+	run(t, mpl.Config{Procs: 1}, func(tk *mpl.Task) {
+		empty := FromInts(tk, nil)
+		_, total := ScanInt(tk, empty, 16)
+		if total != 0 {
+			t.Fatal("empty scan total")
+		}
+		one := FromInts(tk, []int64{7})
+		p, total := ScanInt(tk, one, 16)
+		if total != 7 || tk.Read(p, 0).AsInt() != 0 {
+			t.Fatal("singleton scan")
+		}
+	})
+}
+
+func TestFilter(t *testing.T) {
+	for _, cfg := range configs {
+		run(t, cfg, func(tk *mpl.Task) {
+			xs := workload.Ints(7, 4000, 1000)
+			arr := FromInts(tk, xs)
+			out := Filter(tk, arr, 128, func(tk *mpl.Task, v mpl.Value) bool {
+				return v.AsInt()%7 == 0
+			})
+			var want []int64
+			for _, x := range xs {
+				if x%7 == 0 {
+					want = append(want, x)
+				}
+			}
+			if tk.Length(out) != len(want) {
+				t.Fatalf("cfg %+v: filtered %d, want %d", cfg, tk.Length(out), len(want))
+			}
+			for i, w := range want {
+				if got := tk.Read(out, i).AsInt(); got != w {
+					t.Fatalf("cfg %+v: out[%d] = %d, want %d (order not preserved?)", cfg, i, got, w)
+				}
+			}
+		})
+	}
+}
+
+func TestSortInt(t *testing.T) {
+	for _, cfg := range configs {
+		run(t, cfg, func(tk *mpl.Task) {
+			xs := workload.Ints(11, 3000, 1_000_000)
+			arr := FromInts(tk, xs)
+			sorted := SortInt(tk, arr, 64)
+			want := append([]int64(nil), xs...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := ToInts(tk, sorted)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cfg %+v: sorted[%d] = %d, want %d", cfg, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSortIntQuick(t *testing.T) {
+	// Property: SortInt agrees with the standard library on random inputs.
+	f := func(seed uint64, n uint16) bool {
+		size := int(n%500) + 1
+		xs := workload.Ints(seed, size, 10_000)
+		ok := true
+		run(t, mpl.Config{Procs: 1}, func(tk *mpl.Task) {
+			sorted := ToInts(tk, SortInt(tk, FromInts(tk, xs), 32))
+			want := append([]int64(nil), xs...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for i := range want {
+				if sorted[i] != want[i] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComposition(t *testing.T) {
+	// tabulate → map → filter → sort → scan → reduce, under GC pressure.
+	run(t, mpl.Config{Procs: 2, HeapBudgetWords: 4096}, func(tk *mpl.Task) {
+		arr := Tabulate(tk, 2000, 64, func(tk *mpl.Task, i int) mpl.Value {
+			return mpl.Int(int64((i * 7919) % 1000))
+		})
+		mapped := Map(tk, arr, 64, func(tk *mpl.Task, v mpl.Value) mpl.Value {
+			return mpl.Int(v.AsInt() + 1)
+		})
+		evens := Filter(tk, mapped, 64, func(tk *mpl.Task, v mpl.Value) bool {
+			return v.AsInt()%2 == 0
+		})
+		sorted := SortInt(tk, evens, 64)
+		_, total := ScanInt(tk, sorted, 64)
+		sum := SumInt(tk, sorted, 64)
+		if total != sum {
+			t.Fatalf("scan total %d != reduce sum %d", total, sum)
+		}
+		// Reference computation.
+		var want int64
+		for i := 0; i < 2000; i++ {
+			v := int64((i*7919)%1000) + 1
+			if v%2 == 0 {
+				want += v
+			}
+		}
+		if sum != want {
+			t.Fatalf("pipeline sum = %d, want %d", sum, want)
+		}
+	})
+}
