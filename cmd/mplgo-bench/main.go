@@ -14,12 +14,18 @@
 //
 // -scale divides every benchmark's default problem size (e.g. -scale 4
 // runs quarter-size problems for a quick look).
+//
+// Whenever the time experiment runs, a machine-readable copy of the T1
+// table is written as BENCH_<timestamp>.json (per-benchmark Tseq/T1/T64,
+// overhead, speedup), so every perf change leaves a diffable trail.
+// -json overrides the output path; -json off disables it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mplgo/internal/bench"
 	"mplgo/internal/tables"
@@ -28,6 +34,8 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: time|space|speedup|lang|entangle|ablate|spacecurve|stw|all")
 	scale := flag.Int("scale", 1, "divide default problem sizes by this factor")
+	jsonOut := flag.String("json", "auto",
+		"T1 JSON report path; 'auto' names it BENCH_<timestamp>.json, 'off' disables")
 	flag.Parse()
 
 	var sizes map[string]int
@@ -56,7 +64,22 @@ func main() {
 			fmt.Fprintln(w)
 		}
 	}
-	run("time", func() { tables.TimeTable(sizes, w) })
+	run("time", func() {
+		rows := tables.TimeTable(sizes, w)
+		if *jsonOut == "off" {
+			return
+		}
+		now := time.Now().UTC()
+		path := *jsonOut
+		if path == "auto" {
+			path = fmt.Sprintf("BENCH_%s.json", now.Format("20060102T150405Z"))
+		}
+		if err := tables.WriteBenchJSON(rows, now.Format(time.RFC3339), *scale, path); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	})
 	run("space", func() { tables.SpaceTable(sizes, w) })
 	run("speedup", func() { tables.SpeedupFigure(sizes, w) })
 	run("lang", func() { tables.LangTable(sizes, w) })

@@ -95,35 +95,51 @@ func (t *Task) Length(r mem.Ref) int { return t.rt.space.Header(r).Len() }
 
 // Read loads payload word i of o through the read barrier.
 //
-// Fast path: one load plus one header test. If the holder is an
-// entanglement candidate and the loaded value is a reference, the slow path
-// classifies the edge and pins the target when it proves entangled.
+// Fast path: mem.LoadChecked fuses the value load and the candidate test
+// into one chunk resolution — for non-reference values the whole barrier
+// is a single atomic load and bit test. If the holder is an entanglement
+// candidate and the loaded value is a reference, the slow path classifies
+// the edge and pins the target when it proves entangled.
 func (t *Task) Read(o mem.Ref, i int) mem.Value {
-	t.Work(costAccess)
-	v := t.rt.space.Load(o, i)
-	if t.barriers && v.IsRef() && t.rt.space.Header(o).Candidate() {
+	t.workAcc += costAccess
+	if !t.barriers {
+		return t.rt.space.Load(o, i)
+	}
+	v, slow := t.rt.space.LoadChecked(o, i)
+	if slow {
 		nv, err := t.rt.ent.OnRead(t.heap, o, i, v)
 		if err != nil {
 			t.rt.fail(err)
 		}
-		t.Work(costSlowRead)
+		t.workAcc += costSlowRead
 		return nv
 	}
 	return v
 }
 
-// Write stores v into payload word i of o through the write barrier.
-// Same-heap stores are free; cross-heap stores record down-pointers or pin
-// published objects (see package entangle).
-func (t *Task) Write(o mem.Ref, i int, v mem.Value) {
-	t.Work(costAccess)
-	sp := t.rt.space
-	if t.barriers && v.IsRef() && sp.HeapOf(v.Ref()) != sp.HeapOf(o) {
-		if err := t.rt.ent.OnWrite(t.heap, o, i, v.Ref()); err != nil {
-			t.rt.fail(err)
-		}
+// writeBarrier performs the pre-store bookkeeping shared by Write and CAS
+// for storing the reference x into payload word i of o. Same-heap stores —
+// detected with at most one heap-id resolution per side, and none at all
+// when both objects share a chunk — are free; cross-heap stores record
+// down-pointers or pin published objects (see package entangle). It must
+// run before the raw store so the candidate bit is visible to any reader
+// that can observe the new pointer.
+func (t *Task) writeBarrier(o mem.Ref, i int, x mem.Ref) {
+	if t.rt.space.SameHeap(o, x) {
+		return
 	}
-	sp.Store(o, i, v)
+	if err := t.rt.ent.OnWrite(t.heap, o, i, x); err != nil {
+		t.rt.fail(err)
+	}
+}
+
+// Write stores v into payload word i of o through the write barrier.
+func (t *Task) Write(o mem.Ref, i int, v mem.Value) {
+	t.workAcc += costAccess
+	if t.barriers && v.IsRef() {
+		t.writeBarrier(o, i, v.Ref())
+	}
+	t.rt.space.Store(o, i, v)
 }
 
 // Deref reads a ref cell (ML's `!r`).
@@ -136,12 +152,9 @@ func (t *Task) Assign(cell mem.Ref, v mem.Value) { t.Write(cell, 0, v) }
 // the write barrier. It returns whether the swap happened. This backs the
 // concurrent data structures of the entangled benchmarks.
 func (t *Task) CAS(o mem.Ref, i int, old, new mem.Value) bool {
-	t.Work(costAccess)
-	sp := t.rt.space
-	if t.barriers && new.IsRef() && sp.HeapOf(new.Ref()) != sp.HeapOf(o) {
-		if err := t.rt.ent.OnWrite(t.heap, o, i, new.Ref()); err != nil {
-			t.rt.fail(err)
-		}
+	t.workAcc += costAccess
+	if t.barriers && new.IsRef() {
+		t.writeBarrier(o, i, new.Ref())
 	}
-	return sp.CAS(o, i, old, new)
+	return t.rt.space.CAS(o, i, old, new)
 }

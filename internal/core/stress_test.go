@@ -174,6 +174,48 @@ func TestStressDeepForkTree(t *testing.T) {
 	}
 }
 
+// TestStressStealHeavyEntangled drives a fine-grained fork tree (256
+// leaves, all publishing and reading through one shared array) on 8
+// workers, the configuration where the lock-free deques see real thief
+// contention. Checks: the order-independent checksum matches the P=1 run,
+// every pin is released, and a tiny GC budget doesn't break either — all
+// under concurrent stealing, in every heap strategy.
+func TestStressStealHeavyEntangled(t *testing.T) {
+	const seed, depth = 99, 8
+	var want int64
+	{
+		rt := New(Config{Procs: 1})
+		v, err := rt.Run(randomProgram(seed, depth, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = v.AsInt()
+	}
+	for _, cfg := range []Config{
+		{Procs: 8},
+		{Procs: 8, LazyHeaps: true},
+		{Procs: 8, HeapBudgetWords: 2048},
+		{Procs: 8, LazyHeaps: true, HeapBudgetWords: 2048},
+	} {
+		rt := New(cfg)
+		v, err := rt.Run(randomProgram(seed, depth, true))
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if v.AsInt() != want {
+			t.Fatalf("%+v: result %d, want %d", cfg, v.AsInt(), want)
+		}
+		s := rt.EntStats()
+		if s.Pins != s.Unpins {
+			t.Fatalf("%+v: pins %d != unpins %d", cfg, s.Pins, s.Unpins)
+		}
+		if got := rt.ent.Stats.PinnedNow.Load(); got != 0 {
+			t.Fatalf("%+v: %d objects still pinned after all joins", cfg, got)
+		}
+		t.Logf("%+v: steals=%d pins=%d", cfg, rt.Steals(), s.Pins)
+	}
+}
+
 func TestStressEntangledChainAcrossGC(t *testing.T) {
 	// Left builds a linked list and publishes the head; right traverses it
 	// while left keeps allocating (forcing left-side collections). Every

@@ -25,6 +25,13 @@ type Task struct {
 	slots []mem.Value // shadow stack; visited by collections as roots
 	node  *sim.Node   // current recording segment (nil when not recording)
 
+	// workAcc batches abstract work units task-locally. The access fast
+	// paths bump this plain field instead of dereferencing the recording
+	// node per access; flushWork drains it into the node at every point
+	// where the task's current segment changes (forks, joins, finish), so
+	// recorded traces carry exactly the per-segment sums they always did.
+	workAcc int64
+
 	sinceGC  int64
 	barriers bool
 }
@@ -44,6 +51,7 @@ func (r *Runtime) newTask(w *sched.Worker, h *hierarchy.Heap, node *sim.Node) *T
 
 // finish detaches the task from its heap at the end of its strand.
 func (t *Task) finish() {
+	t.flushWork()
 	t.syncChunks()
 	t.heap.RemoveRootSet(t)
 }
@@ -66,10 +74,18 @@ func (t *Task) Roots(visit func(*mem.Value)) {
 
 // Work records n units of abstract computational cost for the simulator's
 // work/span accounting. Benchmark kernels call this for their arithmetic.
-func (t *Task) Work(n int64) {
+// The cost lands in a task-local accumulator; flushWork attributes it to
+// the current recording segment at the next fork/join boundary.
+func (t *Task) Work(n int64) { t.workAcc += n }
+
+// flushWork drains the batched work accumulator into the task's current
+// recording segment. It must run before every reassignment of t.node so
+// pending cost is attributed to the segment that incurred it.
+func (t *Task) flushWork() {
 	if t.node != nil {
-		t.node.Work += n
+		t.node.Work += t.workAcc
 	}
+	t.workAcc = 0
 }
 
 // Runtime returns the runtime this task belongs to.
@@ -121,6 +137,7 @@ func (t *Task) collectNow() {
 // register references in a Frame before allocating.
 func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 	t.syncChunks()
+	t.flushWork()
 	var lnode, rnode, anode *sim.Node
 	if t.node != nil {
 		t.node.Work += costFork
@@ -136,6 +153,7 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 			func(w *sched.Worker) {
 				t.node = lnode
 				lv = f(t)
+				t.flushWork() // attribute f's work to lnode before the node changes
 			},
 			func(w *sched.Worker, stolen bool) {
 				if stolen {
@@ -146,6 +164,7 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 				} else {
 					t.node = rnode
 					rv = g(t)
+					t.flushWork()
 				}
 			},
 		)

@@ -67,17 +67,26 @@ func (m Mode) String() string {
 // entangles.
 var ErrEntangled = errors.New("entanglement detected")
 
+// counter is an atomic counter padded out to its own cache line. The
+// stats are bumped from the barrier slow paths of every worker at once;
+// without padding, eight counters share one 64-byte line and every
+// increment invalidates the line for all other workers (false sharing).
+type counter struct {
+	atomic.Int64
+	_ [56]byte
+}
+
 // Stats holds the paper's entanglement cost metrics.
 type Stats struct {
-	DownPointers    atomic.Int64 // down-pointer writes remembered
-	Candidates      atomic.Int64 // objects newly marked candidate
-	EntangledReads  atomic.Int64 // reads that found a concurrent object
-	EntangledWrites atomic.Int64 // writes into concurrent objects
-	SlowReads       atomic.Int64 // reads that took the slow path at all
-	Pins            atomic.Int64 // objects newly pinned
-	Unpins          atomic.Int64 // objects unpinned at joins
-	PinnedNow       atomic.Int64 // currently pinned objects (gauge)
-	PinnedPeak      atomic.Int64 // high-water mark of PinnedNow
+	DownPointers    counter // down-pointer writes remembered
+	Candidates      counter // objects newly marked candidate
+	EntangledReads  counter // reads that found a concurrent object
+	EntangledWrites counter // writes into concurrent objects
+	SlowReads       counter // reads that took the slow path at all
+	Pins            counter // objects newly pinned
+	Unpins          counter // objects unpinned at joins
+	PinnedNow       counter // currently pinned objects (gauge)
+	PinnedPeak      counter // high-water mark of PinnedNow
 }
 
 func (s *Stats) pinned(delta int64) {

@@ -207,6 +207,27 @@ func (s *Space) Load(r Ref, i int) Value {
 	return Value(atomic.LoadUint64(&c.Data[r.Off()+1+i]))
 }
 
+// LoadChecked loads payload word i of the object at r and reports whether
+// a barriered read must take the entanglement slow path: the loaded value
+// is a reference and the holder carries the candidate bit. It is the fused
+// read-barrier fast path: one chunk resolution serves both the value and
+// the header, and for non-reference values (the common case in
+// disentangled code) the whole barrier is a single atomic load plus a bit
+// test — the header is never touched.
+//
+// The value is loaded before the header, matching the write barrier's
+// ordering guarantee (candidate bit set before the down-pointer store):
+// any reader that observes the new pointer also observes the bit.
+func (s *Space) LoadChecked(r Ref, i int) (Value, bool) {
+	c := s.chunk(r.Chunk())
+	off := r.Off()
+	v := Value(atomic.LoadUint64(&c.Data[off+1+i]))
+	if v.IsRef() && atomic.LoadUint64(&c.Data[off])&hdrCandidate != 0 {
+		return v, true
+	}
+	return v, false
+}
+
 // Store writes payload word i of the object at r without any barrier.
 func (s *Space) Store(r Ref, i int, v Value) {
 	c := s.chunk(r.Chunk())
@@ -254,4 +275,17 @@ func (s *Space) Forwarded(r Ref) (Ref, bool) {
 // HeapOf returns the heap id owning the chunk that contains r.
 func (s *Space) HeapOf(r Ref) uint32 {
 	return s.chunk(r.Chunk()).HeapID()
+}
+
+// SameHeap reports whether a and b currently live in the same heap. Chunks
+// are owned by exactly one heap, so two references into the same chunk are
+// trivially same-heap with no table walk at all; otherwise each chunk's
+// cached heap id is resolved exactly once. This is the write-barrier fast
+// path: same-heap stores are free.
+func (s *Space) SameHeap(a, b Ref) bool {
+	ca, cb := a.Chunk(), b.Chunk()
+	if ca == cb {
+		return true
+	}
+	return s.chunk(ca).HeapID() == s.chunk(cb).HeapID()
 }

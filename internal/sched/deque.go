@@ -1,0 +1,118 @@
+package sched
+
+import "sync/atomic"
+
+// deque is a per-worker Chase–Lev work-stealing deque. The owner pushes
+// and pops at the bottom with plain index arithmetic; thieves race on the
+// top index with a CAS. The only CAS the owner ever executes is the
+// last-element race against a thief, so the fork–join hot path (push one
+// item, pop it back un-stolen) is a handful of uncontended atomic
+// operations and no locks.
+//
+// Layout follows Chase & Lev, "Dynamic Circular Work-Stealing Deque"
+// (SPAA 2005), adapted to Go's sequentially-consistent sync/atomic:
+//
+//   - top is the index of the oldest item (next to be stolen); it only
+//     ever increases, which makes stale buffer snapshots safe: a thief
+//     that read an old buffer can only win the CAS for an index whose
+//     slot holds the same item in old and new buffers.
+//   - bottom is the index one past the newest item; only the owner
+//     writes it.
+//   - the buffer is a power-of-two circular array, replaced (never
+//     mutated in place) when full, so readers of a stale snapshot see
+//     frozen, consistent contents.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[dequeBuf]
+}
+
+// dequeInitialSize is the starting buffer capacity. Fork–join programs
+// rarely exceed stack depth 64 per worker, so growth is exceptional.
+const dequeInitialSize = 64
+
+type dequeBuf struct {
+	mask  int64 // len(items)-1; len is a power of two
+	items []atomic.Pointer[item]
+}
+
+func newDequeBuf(n int64) *dequeBuf {
+	return &dequeBuf{mask: n - 1, items: make([]atomic.Pointer[item], n)}
+}
+
+func (b *dequeBuf) get(i int64) *item    { return b.items[i&b.mask].Load() }
+func (b *dequeBuf) put(i int64, t *item) { b.items[i&b.mask].Store(t) }
+
+// pushBottom appends t at the bottom. Owner-only.
+func (d *deque) pushBottom(t *item) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	buf := d.buf.Load()
+	if buf == nil {
+		buf = newDequeBuf(dequeInitialSize)
+		d.buf.Store(buf)
+	} else if b-top > buf.mask {
+		buf = d.grow(buf, top, b)
+	}
+	buf.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the buffer, copying the live window [top, bottom). The old
+// buffer is left untouched for concurrent thieves holding a snapshot.
+func (d *deque) grow(old *dequeBuf, top, bottom int64) *dequeBuf {
+	buf := newDequeBuf((old.mask + 1) * 2)
+	for i := top; i < bottom; i++ {
+		buf.put(i, old.get(i))
+	}
+	d.buf.Store(buf)
+	return buf
+}
+
+// popBottom removes and returns the newest item, or nil. Owner-only; the
+// only contended case is the race with a thief for the final item, which
+// is settled by a CAS on top.
+func (d *deque) popBottom() *item {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	if buf == nil {
+		return nil
+	}
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom to the canonical empty shape.
+		d.bottom.Store(t)
+		return nil
+	}
+	it := buf.get(b)
+	if t == b {
+		// Single item left: race thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			it = nil // a thief got there first
+		}
+		d.bottom.Store(t + 1)
+		return it
+	}
+	return it
+}
+
+// stealTop removes and returns the oldest item, or nil if the deque is
+// empty or the CAS was lost to a concurrent steal/pop. Safe from any
+// goroutine.
+func (d *deque) stealTop() *item {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	buf := d.buf.Load()
+	if buf == nil {
+		return nil
+	}
+	it := buf.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return it
+}

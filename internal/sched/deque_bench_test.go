@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+// The deque microbenchmarks price the scheduler hot path in isolation:
+// the owner-side push/pop pair every fork executes, deep LIFO bursts, the
+// steal path, and the end-to-end fork–join overhead through a pool.
+// Regressions here show up multiplied by fork count in the T1 table.
+
+func BenchmarkDequePushPop(b *testing.B) {
+	var d deque
+	t := &item{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.pushBottom(t)
+		if d.popBottom() != t {
+			b.Fatal("lost item")
+		}
+	}
+}
+
+func BenchmarkDequePushPopDeep(b *testing.B) {
+	const depth = 64
+	var d deque
+	its := make([]item, depth)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < depth; j++ {
+			d.pushBottom(&its[j])
+		}
+		for j := 0; j < depth; j++ {
+			if d.popBottom() == nil {
+				b.Fatal("lost item")
+			}
+		}
+	}
+}
+
+func BenchmarkDequeStealUncontended(b *testing.B) {
+	var d deque
+	t := &item{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.pushBottom(t)
+		if d.stealTop() != t {
+			b.Fatal("lost item")
+		}
+	}
+}
+
+// BenchmarkDequeStealContended measures steal throughput with several
+// thieves hammering one owner's deque.
+func BenchmarkDequeStealContended(b *testing.B) {
+	for _, thieves := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "thieves=1", 2: "thieves=2", 4: "thieves=4"}[thieves], func(b *testing.B) {
+			var d deque
+			its := make([]item, b.N)
+			for i := range its {
+				d.pushBottom(&its[i])
+			}
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for th := 0; th < thieves; th++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						if d.stealTop() == nil && d.top.Load() >= d.bottom.Load() {
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkForkJoin measures the full scheduler round trip per fork: push,
+// inline run, pop — the cost every Par pays even when nothing is stolen.
+func BenchmarkForkJoin(b *testing.B) {
+	pool := NewPool(1, 1)
+	b.ReportAllocs()
+	pool.Run(func(w *Worker) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.ForkJoin(func(*Worker) {}, func(*Worker, bool) {})
+		}
+	})
+}
+
+// BenchmarkForkJoinTree runs a complete fork tree on P workers, pricing
+// scheduling with real stealing in the mix.
+func BenchmarkForkJoinTree(b *testing.B) {
+	for _, p := range []int{1, 4} {
+		b.Run(map[int]string{1: "P=1", 4: "P=4"}[p], func(b *testing.B) {
+			pool := NewPool(p, 42)
+			for i := 0; i < b.N; i++ {
+				var got int64
+				pool.Run(func(w *Worker) { got = psum(w, 0, 1<<14, 32) })
+				if want := int64(1<<14) * (1<<14 - 1) / 2; got != want {
+					b.Fatalf("sum = %d, want %d", got, want)
+				}
+			}
+		})
+	}
+}

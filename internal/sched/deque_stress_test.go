@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// runDequeStress drives one owner goroutine (random bursts of pushes
+// interleaved with pops, then a full drain) against `thieves` concurrent
+// stealers, and checks the fundamental deque invariant: every pushed item
+// is taken exactly once, by exactly one side. Run under -race this also
+// exercises the memory-ordering assumptions of the Chase–Lev algorithm.
+func runDequeStress(t *testing.T, thieves, total int, seed uint64) {
+	t.Helper()
+	var d deque
+	its := make([]item, total)
+	index := make(map[*item]int, total)
+	for i := range its {
+		index[&its[i]] = i
+	}
+	taken := make([]atomic.Int32, total)
+	var stolen, popped atomic.Int64
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if it := d.stealTop(); it != nil {
+					taken[index[it]].Add(1)
+					stolen.Add(1)
+				}
+			}
+		}()
+	}
+
+	rng := xorshift64(seed | 1)
+	next := 0
+	for next < total {
+		burst := int(rng.next()%8) + 1
+		for i := 0; i < burst && next < total; i++ {
+			d.pushBottom(&its[next])
+			next++
+		}
+		pops := int(rng.next() % 4)
+		for i := 0; i < pops; i++ {
+			if it := d.popBottom(); it != nil {
+				taken[index[it]].Add(1)
+				popped.Add(1)
+			}
+		}
+	}
+	// Owner drains what the thieves haven't taken. A nil pop means the
+	// deque is empty or the last item was lost to a thief's CAS — either
+	// way every item has an owner once the thieves stop.
+	for {
+		it := d.popBottom()
+		if it == nil {
+			if d.top.Load() >= d.bottom.Load() {
+				break
+			}
+			continue
+		}
+		taken[index[it]].Add(1)
+		popped.Add(1)
+	}
+	done.Store(true)
+	wg.Wait()
+
+	if got := popped.Load() + stolen.Load(); got != int64(total) {
+		t.Fatalf("thieves=%d: %d items taken (popped %d + stolen %d), pushed %d",
+			thieves, got, popped.Load(), stolen.Load(), total)
+	}
+	for i := range taken {
+		if n := taken[i].Load(); n != 1 {
+			t.Fatalf("thieves=%d: item %d taken %d times", thieves, i, n)
+		}
+	}
+	if thieves > 0 && stolen.Load() == 0 {
+		t.Logf("thieves=%d: no successful steals (timing-dependent)", thieves)
+	}
+}
+
+func TestDequeStressOwnerVsThieves(t *testing.T) {
+	total := 200_000
+	if testing.Short() {
+		total = 20_000
+	}
+	for _, thieves := range []int{1, 2, 4, 8} {
+		thieves := thieves
+		t.Run(map[int]string{1: "thieves=1", 2: "thieves=2", 4: "thieves=4", 8: "thieves=8"}[thieves],
+			func(t *testing.T) {
+				t.Parallel()
+				runDequeStress(t, thieves, total, uint64(thieves)*0x9E3779B97F4A7C15+12345)
+			})
+	}
+}
+
+// TestDequeGrowthUnderSteals forces buffer growth (pushes far beyond the
+// initial capacity without popping) while thieves hold stale snapshots.
+func TestDequeGrowthUnderSteals(t *testing.T) {
+	const total = dequeInitialSize * 64
+	runDequeStress(t, 4, total, 777)
+}
+
+// TestDequeLastItemRace hammers the single-item case where the owner's
+// popBottom and a thief's stealTop race by CAS for the same element.
+func TestDequeLastItemRace(t *testing.T) {
+	const rounds = 50_000
+	var d deque
+	var ownerGot, thiefGot atomic.Int64
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			if d.stealTop() != nil {
+				thiefGot.Add(1)
+			}
+		}
+	}()
+	it := &item{}
+	for r := 0; r < rounds; r++ {
+		d.pushBottom(it)
+		if d.popBottom() != nil {
+			ownerGot.Add(1)
+		} else {
+			// Lost to the thief: wait until it has really been consumed
+			// before reusing the item, mirroring ForkJoin's done handshake.
+			for d.top.Load() < d.bottom.Load() {
+			}
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	if got := ownerGot.Load() + thiefGot.Load(); got != rounds {
+		t.Fatalf("%d wins (owner %d + thief %d), want %d rounds",
+			got, ownerGot.Load(), thiefGot.Load(), rounds)
+	}
+}

@@ -1,7 +1,7 @@
 // Package sched implements the nested fork–join work-stealing scheduler
-// the runtime executes on: per-worker deques, random victim selection, and
-// helping joins (a worker whose join partner was stolen steals other work
-// while it waits).
+// the runtime executes on: per-worker lock-free Chase–Lev deques (deque.go),
+// random victim selection, and helping joins (a worker whose join partner
+// was stolen steals other work while it waits).
 //
 // The scheduler reports to its caller whether the right branch of a fork
 // was stolen: in MPL's design, heaps are materialized at steals, so this is
@@ -9,7 +9,6 @@
 package sched
 
 import (
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,43 +20,18 @@ type item struct {
 	done atomic.Bool
 }
 
-// deque is a per-worker double-ended queue. The owner pushes and pops at
-// the bottom; thieves steal from the top. A mutex keeps it simple and
-// correct; contention is negligible at benchmark grain sizes.
-type deque struct {
-	mu    sync.Mutex
-	items []*item
-}
+// xorshift64 is a tiny per-worker PRNG for victim selection: no locks, no
+// interface indirection, no allocation — one word of state advanced by
+// three shifts per draw (Marsaglia, "Xorshift RNGs").
+type xorshift64 uint64
 
-func (d *deque) pushBottom(t *item) {
-	d.mu.Lock()
-	d.items = append(d.items, t)
-	d.mu.Unlock()
-}
-
-// popBottom removes and returns the newest item, or nil.
-func (d *deque) popBottom() *item {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.items)
-	if n == 0 {
-		return nil
-	}
-	t := d.items[n-1]
-	d.items = d.items[:n-1]
-	return t
-}
-
-// stealTop removes and returns the oldest item, or nil.
-func (d *deque) stealTop() *item {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.items) == 0 {
-		return nil
-	}
-	t := d.items[0]
-	d.items = d.items[1:]
-	return t
+func (s *xorshift64) next() uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return uint64(x)
 }
 
 // Worker is one of the pool's P workers. Fork–join operations must be
@@ -66,7 +40,7 @@ type Worker struct {
 	ID   int
 	pool *Pool
 	dq   deque
-	rng  *rand.Rand
+	rng  xorshift64
 
 	// Steals counts items this worker stole from others.
 	Steals int64
@@ -87,10 +61,14 @@ func NewPool(p int, seed int64) *Pool {
 	}
 	pool := &Pool{}
 	for i := 0; i < p; i++ {
+		rng := xorshift64(uint64(seed)*0x9E3779B97F4A7C15 + uint64(i+1)*7919)
+		if rng == 0 {
+			rng = 0x9E3779B97F4A7C15 // xorshift state must be nonzero
+		}
 		pool.workers = append(pool.workers, &Worker{
 			ID:   i,
 			pool: pool,
-			rng:  rand.New(rand.NewSource(seed + int64(i)*7919)),
+			rng:  rng,
 		})
 	}
 	return pool
@@ -140,17 +118,26 @@ func (w *Worker) stealLoop() {
 	}
 }
 
-// trySteal attempts to steal one item from a random victim, scanning all
-// workers once starting from a random position.
+// trySteal attempts to steal one item, scanning every other worker once
+// starting from a random victim. The self-skipping index mapping draws
+// from [0, P-1) and bumps indices at or past the worker's own, so no
+// retry loop is needed to avoid selecting ourselves.
 func (w *Worker) trySteal() *item {
 	ws := w.pool.workers
-	start := w.rng.Intn(len(ws))
-	for i := 0; i < len(ws); i++ {
-		v := ws[(start+i)%len(ws)]
-		if v == w {
-			continue
+	n := len(ws)
+	if n < 2 {
+		return nil
+	}
+	start := int(w.rng.next() % uint64(n-1))
+	for i := 0; i < n-1; i++ {
+		idx := start + i
+		if idx >= n-1 {
+			idx -= n - 1
 		}
-		if t := v.dq.stealTop(); t != nil {
+		if idx >= w.ID {
+			idx++
+		}
+		if t := ws[idx].dq.stealTop(); t != nil {
 			atomic.AddInt64(&w.Steals, 1)
 			return t
 		}

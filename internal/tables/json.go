@@ -1,0 +1,59 @@
+package tables
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// BenchEntry is one per-benchmark record of the machine-readable report:
+// the measured sequential baseline, single-processor hierarchical time,
+// the simulated 64-processor point, and the derived ratios the T1 table
+// prints.
+type BenchEntry struct {
+	Name      string  `json:"name"`
+	Entangled bool    `json:"entangled"`
+	TseqNS    int64   `json:"tseq_ns"`
+	T1NS      int64   `json:"t1_ns"`
+	T64SimNS  int64   `json:"t64_sim_ns"`
+	Overhead  float64 `json:"overhead"`  // T1 / Tseq
+	Speedup64 float64 `json:"speedup64"` // Tseq / T64(sim)
+}
+
+// BenchReport is the top-level JSON document written beside the tables so
+// perf work has a tracked trajectory: each run of `mplgo-bench -exp time`
+// drops a BENCH_<timestamp>.json that later runs (and reviewers) can diff.
+type BenchReport struct {
+	Timestamp  string       `json:"timestamp"` // RFC 3339, UTC
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Scale      int          `json:"scale"` // problem-size divisor the run used
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// WriteBenchJSON serializes the T1 rows to path as an indented JSON
+// report stamped with the given RFC 3339 timestamp.
+func WriteBenchJSON(rows []TimeRow, timestamp string, scale int, path string) error {
+	rep := BenchReport{
+		Timestamp:  timestamp,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+	}
+	for _, r := range rows {
+		rep.Benchmarks = append(rep.Benchmarks, BenchEntry{
+			Name:      r.Name,
+			Entangled: r.Entangled,
+			TseqNS:    r.Tseq.Nanoseconds(),
+			T1NS:      r.T1.Nanoseconds(),
+			T64SimNS:  r.T64.Nanoseconds(),
+			Overhead:  r.Overhead,
+			Speedup64: r.Speedup64,
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

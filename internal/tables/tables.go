@@ -267,8 +267,8 @@ type EntangleRow struct {
 func EntangleTable(sizes map[string]int, w io.Writer) []EntangleRow {
 	var rows []EntangleRow
 	fmt.Fprintf(w, "# T4: entanglement metrics (P=2, fork-time heaps)\n")
-	fmt.Fprintf(w, "%-10s %5s %9s %9s %9s %9s %9s %9s %9s\n",
-		"benchmark", "ent", "eReads", "eWrites", "cand", "pins", "unpins", "pinPeak", "downPtrs")
+	fmt.Fprintf(w, "%-10s %5s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+		"benchmark", "ent", "eReads", "eWrites", "slowRds", "cand", "pins", "unpins", "pinPeak", "downPtrs")
 	for _, b := range bench.All {
 		n := size(b, sizes)
 		_, _, rt := runMPL(b, n, mpl.Config{Procs: 2})
@@ -280,8 +280,8 @@ func EntangleTable(sizes map[string]int, w io.Writer) []EntangleRow {
 			PinnedPeak: s.PinnedPeak, SlowReads: s.SlowReads, DownPointers: s.DownPointers,
 		}
 		rows = append(rows, row)
-		fmt.Fprintf(w, "%-10s %5v %9d %9d %9d %9d %9d %9d %9d\n",
-			row.Name, row.Entangled, row.EntangledReads, row.EntangledWrite,
+		fmt.Fprintf(w, "%-10s %5v %9d %9d %9d %9d %9d %9d %9d %9d\n",
+			row.Name, row.Entangled, row.EntangledReads, row.EntangledWrite, row.SlowReads,
 			row.Candidates, row.Pins, row.Unpins, row.PinnedPeak, row.DownPointers)
 	}
 	return rows
