@@ -266,16 +266,14 @@ func BenchmarkAblateUnpin(b *testing.B) {
 		b.StopTimer()
 		child := tr.Fork(root)
 		al := mem.NewAllocator(sp, child.ID)
-		child.Mu.Lock()
 		for j := 0; j < pins; j++ {
 			r := al.AllocRef(mem.Int(int64(j)))
 			sp.Pin(r, 0)
 			child.AddPinned(r)
 		}
-		child.Mu.Unlock()
 		child.Chunks = al.Chunks
 		b.StartTimer()
-		if n := tr.Merge(child, root, sp); n != pins {
+		if n, _ := tr.Merge(child, root, sp); n != pins {
 			b.Fatalf("unpinned %d, want %d", n, pins)
 		}
 		b.StopTimer()

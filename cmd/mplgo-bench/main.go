@@ -17,8 +17,14 @@
 //
 // Whenever the time experiment runs, a machine-readable copy of the T1
 // table is written as BENCH_<timestamp>.json (per-benchmark Tseq/T1/T64,
-// overhead, speedup), so every perf change leaves a diffable trail.
+// overhead, speedup, and the T4 entanglement cost metrics of the T1 run),
+// so every perf change leaves a diffable trail.
 // -json overrides the output path; -json off disables it.
+//
+// -baseline <file.json> compares the fresh T1 report against a previous
+// one and exits nonzero if any benchmark's overhead (T1/Tseq) regressed by
+// more than -tolerance (default 15%). CI uses this against the checked-in
+// baseline report.
 package main
 
 import (
@@ -36,6 +42,10 @@ func main() {
 	scale := flag.Int("scale", 1, "divide default problem sizes by this factor")
 	jsonOut := flag.String("json", "auto",
 		"T1 JSON report path; 'auto' names it BENCH_<timestamp>.json, 'off' disables")
+	baseline := flag.String("baseline", "",
+		"previous BENCH_*.json to compare the fresh T1 report against; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.15,
+		"relative T1-overhead regression tolerated by -baseline (0.15 = 15%)")
 	flag.Parse()
 
 	var sizes map[string]int
@@ -79,6 +89,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		if *baseline != "" {
+			base, err := tables.ReadBenchJSON(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reading baseline %s: %v\n", *baseline, err)
+				os.Exit(1)
+			}
+			fresh, err := tables.ReadBenchJSON(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "re-reading %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if regs := tables.CompareBenchReports(base, fresh, *tolerance); len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "T1-overhead regressions vs %s:\n", *baseline)
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "  %s\n", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "no T1-overhead regression vs %s (tolerance %.0f%%)\n",
+				*baseline, *tolerance*100)
+		}
 	})
 	run("space", func() { tables.SpaceTable(sizes, w) })
 	run("speedup", func() { tables.SpeedupFigure(sizes, w) })

@@ -195,7 +195,7 @@ func TestEntanglementEndToEnd(t *testing.T) {
 	if s.Unpins < 1 {
 		t.Fatalf("join did not unpin: %+v", s)
 	}
-	if rt.ent.Stats.PinnedNow.Load() != 0 {
+	if rt.ent.Stats.PinnedNow() != 0 {
 		t.Fatal("pins outlive all joins")
 	}
 }

@@ -21,11 +21,19 @@
 //   - An *entangled write* stores a pointer into an object of a concurrent
 //     heap, publishing the target to that side; the target is pinned
 //     immediately, since concurrent readers may acquire it at any time.
+//
+// The barriers below are lock-free: a pin is a single CAS on the object
+// header (mem.PinHeader), ordered against concurrent copying by the header
+// state machine, and ordered against the bulk phases of a collection or
+// merge by the owning heap's reader gate (hierarchy.Gate) — one atomic add
+// to enter, one to leave. No mutex is acquired anywhere on the OnRead or
+// OnWrite path.
 package entangle
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"mplgo/internal/hierarchy"
@@ -85,15 +93,34 @@ type Stats struct {
 	SlowReads       counter // reads that took the slow path at all
 	Pins            counter // objects newly pinned
 	Unpins          counter // objects unpinned at joins
-	PinnedNow       counter // currently pinned objects (gauge)
-	PinnedPeak      counter // high-water mark of PinnedNow
+	PinnedPeak      counter // high-water mark of PinnedNow()
+	PinnedBytesNow  counter // bytes (header+payload) currently pinned (gauge)
+	PinnedBytesPeak counter // high-water mark of PinnedBytesNow
 }
 
-func (s *Stats) pinned(delta int64) {
-	now := s.PinnedNow.Add(delta)
+// PinnedNow returns the number of currently pinned objects. It is not a
+// counter of its own: every pin bumps Pins and every unpin bumps Unpins,
+// so the gauge is their difference — one less atomic on the pin path.
+func (s *Stats) PinnedNow() int64 { return s.Pins.Load() - s.Unpins.Load() }
+
+// The pinned gauges only decrease at joins (merges unpin; collections
+// trace pinned objects in place), so PinnedNow/PinnedBytesNow rise
+// monotonically between joins. That lets the pin path use a plain atomic
+// add and defer high-water-mark capture to the points where the gauges are
+// about to drop (OnJoin) or be read (Snapshot) — instead of a CAS loop on
+// a shared peak cell per pin.
+func (s *Stats) pinnedBytes(delta int64) { s.PinnedBytesNow.Add(delta) }
+
+// capturePeaks folds the current gauge values into the high-water marks.
+func (s *Stats) capturePeaks() {
+	peakMax(&s.PinnedPeak, s.PinnedNow())
+	peakMax(&s.PinnedBytesPeak, s.PinnedBytesNow.Load())
+}
+
+func peakMax(peak *counter, n int64) {
 	for {
-		peak := s.PinnedPeak.Load()
-		if now <= peak || s.PinnedPeak.CompareAndSwap(peak, now) {
+		p := peak.Load()
+		if n <= p || peak.CompareAndSwap(p, n) {
 			return
 		}
 	}
@@ -101,6 +128,7 @@ func (s *Stats) pinned(delta int64) {
 
 // Snapshot returns a plain-struct copy for reporting.
 func (s *Stats) Snapshot() StatsSnapshot {
+	s.capturePeaks()
 	return StatsSnapshot{
 		DownPointers:    s.DownPointers.Load(),
 		Candidates:      s.Candidates.Load(),
@@ -110,6 +138,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Pins:            s.Pins.Load(),
 		Unpins:          s.Unpins.Load(),
 		PinnedPeak:      s.PinnedPeak.Load(),
+		PinnedPeakBytes: s.PinnedBytesPeak.Load(),
 	}
 }
 
@@ -123,6 +152,7 @@ type StatsSnapshot struct {
 	Pins            int64
 	Unpins          int64
 	PinnedPeak      int64
+	PinnedPeakBytes int64
 }
 
 // Manager coordinates entanglement bookkeeping for one runtime instance.
@@ -138,7 +168,11 @@ func New(space *mem.Space, tree *hierarchy.Tree, mode Mode) *Manager {
 	return &Manager{Space: space, Tree: tree, Mode: mode}
 }
 
-// heapOf returns the live heap currently owning r.
+// heapOf returns the heap currently owning r. The result can be stale the
+// moment it is returned (a merge can flip chunk ownership concurrently),
+// or nil/dead for a ref whose chunk was released or whose heap merged
+// away; callers re-validate ownership under the heap's reader gate before
+// acting on it.
 func (m *Manager) heapOf(r mem.Ref) *hierarchy.Heap {
 	return m.Tree.Get(m.Space.HeapOf(r))
 }
@@ -167,7 +201,16 @@ func (m *Manager) OnWrite(leaf *hierarchy.Heap, o mem.Ref, i int, x mem.Ref) err
 		if m.Space.SetCandidate(o) {
 			m.Stats.Candidates.Add(1)
 		}
-		xh.AddRemembered(o, i)
+		if xh == leaf {
+			// The target lives in the writer's own heap — the common case
+			// for publishing freshly allocated objects (producer/consumer
+			// pipelines). Only this strand drains, collects or merges leaf,
+			// so the entry goes straight into the owner-only view: no gate,
+			// no atomics.
+			leaf.AddRememberedLocal(o, i)
+		} else {
+			m.publishRemembered(oh, xh, o, i, x)
+		}
 		m.Stats.DownPointers.Add(1)
 		return nil
 	default:
@@ -187,7 +230,7 @@ func (m *Manager) OnWrite(leaf *hierarchy.Heap, o mem.Ref, i int, x mem.Ref) err
 		if u := m.Tree.LCA(leaf, xh).Depth(); u < unpin {
 			unpin = u
 		}
-		m.pinLocked(x, unpin)
+		m.pinEntangled(x, unpin)
 		if m.Mode == Detect {
 			return fmt.Errorf("write into concurrent object %v: %w", o, ErrEntangled)
 		}
@@ -195,47 +238,129 @@ func (m *Manager) OnWrite(leaf *hierarchy.Heap, o mem.Ref, i int, x mem.Ref) err
 	}
 }
 
+// publishRemembered records the down-pointer (o, i) → x with x's owning
+// heap, entering the owner's reader gate so the entry cannot be lost to a
+// racing merge: a push made inside the gate is always seen by the next
+// DrainBuffers. If the target's heap merges underneath us, the entry is
+// republished against the live owner — or dropped once the target shares
+// the holder's heap (an intra-heap pointer needs no remembering).
+func (m *Manager) publishRemembered(oh, xh *hierarchy.Heap, o mem.Ref, i int, x mem.Ref) {
+	for {
+		if xh == nil || xh.Dead || xh == oh {
+			if xh == oh {
+				return
+			}
+			runtime.Gosched()
+			xh = m.heapOf(x)
+			continue
+		}
+		xh.Gate.EnterReader()
+		ok := m.Space.HeapOf(x) == xh.ID
+		if ok {
+			xh.AddRemembered(o, i)
+		}
+		xh.Gate.ExitReader()
+		if ok {
+			return
+		}
+		xh = m.heapOf(x)
+	}
+}
+
 // OnRead performs the read-barrier slow path: the holder o is a candidate
 // and the loaded value v is a reference. It returns the (possibly updated)
 // value to use: if a local collection moved the target between the caller's
-// load and our pin, the re-read under the heap lock yields the object's
-// current location.
+// load and our pin, re-reading the field yields the object's current
+// location. The path is lock-free: one header load for the already-pinned
+// fast path; otherwise a gate entry (atomic add), an ownership check, a
+// field validation and a single pin CAS.
 func (m *Manager) OnRead(leaf *hierarchy.Heap, o mem.Ref, i int, v mem.Value) (mem.Value, error) {
 	m.Stats.SlowReads.Add(1)
 	for {
 		x := v.Ref()
 		xh := m.heapOf(x)
+		if xh == nil || xh.Dead {
+			// Stale ownership: the chunk was released, or its heap merged
+			// away, between the caller's load and our lookup. The
+			// collection that did it has already updated the field (and a
+			// merge re-resolves on the next pass), so reload and retry.
+			cur := m.Space.Load(o, i)
+			if !cur.IsRef() {
+				return cur, nil
+			}
+			if cur == v {
+				runtime.Gosched()
+			}
+			v = cur
+			continue
+		}
 		if m.Tree.IsAncestor(xh, leaf) {
 			// Disentangled: the target is on our root-to-leaf path.
 			return v, nil
 		}
-		// Entangled read. Lock the target heap to serialize against its
-		// owner's local collection, then validate that the field still
-		// holds the value we loaded (the collection updates remembered
-		// fields before releasing the lock).
-		xh.Mu.Lock()
+		// Entangled read. The unpin depth (the LCA with the owner) also
+		// bounds the already-pinned fast path below, so compute it once.
+		unpin := m.Tree.LCA(leaf, xh).Depth()
+		if h := m.Space.Header(x); h.Valid() && h.Kind() != mem.KForward &&
+			!h.Busy() && h.Pinned() && h.Candidate() &&
+			h.UnpinDepth() <= unpin {
+			// Already-pinned fast path: a pin at (or above) our LCA depth
+			// cannot be revoked while our strand runs — unpinning at depth
+			// d requires a merge into a heap of depth ≤ d, and every such
+			// merge point is an ancestor of ours whose join waits for us.
+			// The object therefore cannot move or be reclaimed: no gate,
+			// no CAS, no publication needed.
+			m.Stats.EntangledReads.Add(1)
+			if m.Mode == Detect {
+				return v, fmt.Errorf("read of concurrent object %v: %w", x, ErrEntangled)
+			}
+			return v, nil
+		}
+		// Pin-then-validate under the owner's reader gate, which excludes
+		// the bulk phases of its collections and of the merge that would
+		// retire it (so xh stays live and its objects stay put while we
+		// are inside).
+		xh.Gate.EnterReader()
+		if m.Space.HeapOf(x) != xh.ID {
+			xh.Gate.ExitReader()
+			continue // ownership moved; re-resolve
+		}
 		cur := m.Space.Load(o, i)
-		if cur != v || m.Space.HeapOf(x) != xh.ID {
-			xh.Mu.Unlock()
+		if cur != v {
+			// A collection moved the target (and updated the field)
+			// before we entered the gate; use the current location.
+			xh.Gate.ExitReader()
 			if !cur.IsRef() {
 				return cur, nil
 			}
 			v = cur
 			continue
 		}
-		m.Stats.EntangledReads.Add(1)
-		unpin := m.Tree.LCA(leaf, xh).Depth()
-		if m.Space.Pin(x, unpin) {
+		st, h := m.Space.PinHeader(x, unpin)
+		if st == mem.PinBusy || st == mem.PinForwarded {
+			// A stale copy in a retained from-space chunk (or a copy still
+			// in flight elsewhere): chase the forward pointer if it is
+			// already installed, otherwise back off and re-resolve.
+			xh.Gate.ExitReader()
+			if nx, fwd := m.Space.Forwarded(x); fwd {
+				v = nx.Value()
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if st == mem.PinNew {
 			m.Stats.Pins.Add(1)
-			m.pinned(1)
+			m.Stats.pinnedBytes(int64(h.Len()+1) * 8)
 			xh.AddPinned(x)
 		}
+		m.Stats.EntangledReads.Add(1)
 		// Mark the acquired object so our reads *through* it also take
 		// the slow path; anything it leads to is concurrent with us.
 		if m.Space.SetCandidate(x) {
 			m.Stats.Candidates.Add(1)
 		}
-		xh.Mu.Unlock()
+		xh.Gate.ExitReader()
 		if m.Mode == Detect {
 			return v, fmt.Errorf("read of concurrent object %v: %w", x, ErrEntangled)
 		}
@@ -243,35 +368,52 @@ func (m *Manager) OnRead(leaf *hierarchy.Heap, o mem.Ref, i int, v mem.Value) (m
 	}
 }
 
-// pinLocked pins x under its heap's lock (entangled-write path).
-func (m *Manager) pinLocked(x mem.Ref, unpin int) {
+// pinEntangled pins x at the given unpin depth on the entangled-write
+// path, retrying across heap merges. Lock-free: gate entry, ownership
+// check, one CAS.
+func (m *Manager) pinEntangled(x mem.Ref, unpin int) {
 	for {
 		xh := m.heapOf(x)
-		xh.Mu.Lock()
-		if m.Space.HeapOf(x) != xh.ID {
-			xh.Mu.Unlock()
-			continue // heap merged underneath us; retry against the new owner
+		if xh == nil || xh.Dead {
+			runtime.Gosched()
+			continue // merge in flight; ownership re-resolves to the live heap
 		}
-		if m.Space.Pin(x, unpin) {
+		xh.Gate.EnterReader()
+		if m.Space.HeapOf(x) != xh.ID {
+			xh.Gate.ExitReader()
+			continue
+		}
+		st, h := m.Space.PinHeader(x, unpin)
+		if st == mem.PinBusy || st == mem.PinForwarded {
+			xh.Gate.ExitReader()
+			if nx, fwd := m.Space.Forwarded(x); fwd {
+				x = nx
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if st == mem.PinNew {
 			m.Stats.Pins.Add(1)
-			m.pinned(1)
+			m.Stats.pinnedBytes(int64(h.Len()+1) * 8)
 			xh.AddPinned(x)
 		}
 		if m.Space.SetCandidate(x) {
 			m.Stats.Candidates.Add(1)
 		}
-		xh.Mu.Unlock()
+		xh.Gate.ExitReader()
 		return
 	}
 }
 
-func (m *Manager) pinned(d int64) { m.Stats.pinned(d) }
-
-// OnJoin merges child into parent and records unpin statistics.
+// OnJoin merges child into parent and records unpin statistics. The peaks
+// are captured first: the gauges only fall at joins, so their values here
+// are local maxima.
 func (m *Manager) OnJoin(child, parent *hierarchy.Heap) {
-	n := m.Tree.Merge(child, parent, m.Space)
+	m.Stats.capturePeaks()
+	n, words := m.Tree.Merge(child, parent, m.Space)
 	if n > 0 {
 		m.Stats.Unpins.Add(int64(n))
-		m.pinned(int64(-n))
+		m.Stats.pinnedBytes(-words * 8)
 	}
 }

@@ -69,6 +69,7 @@ func TestDownPointerWrite(t *testing.T) {
 	if r.sp.Header(x).Pinned() {
 		t.Fatal("down-pointer alone must not pin (pinning is lazy, at reads)")
 	}
+	r.left.DrainBuffers() // published lock-free; fold into the owner view
 	if len(r.left.Remset) != 1 || r.left.Remset[0].Holder != holder || r.left.Remset[0].Index != 1 {
 		t.Fatalf("remset = %+v", r.left.Remset)
 	}
@@ -132,6 +133,7 @@ func TestEntangledReadPins(t *testing.T) {
 	if !h.Candidate() {
 		t.Fatal("acquired object must become candidate")
 	}
+	r.left.DrainBuffers() // published lock-free; fold into the owner view
 	if len(r.left.Pinned) != 1 || r.left.Pinned[0] != x {
 		t.Fatalf("pinned list = %v", r.left.Pinned)
 	}
@@ -251,7 +253,7 @@ func TestOnJoinUnpins(t *testing.T) {
 	if s.Unpins != 1 {
 		t.Fatalf("Unpins = %d", s.Unpins)
 	}
-	if r.m.Stats.PinnedNow.Load() != 0 {
+	if r.m.Stats.PinnedNow() != 0 {
 		t.Fatal("pinned gauge not decremented")
 	}
 	if r.sp.HeapOf(x) != r.root.ID {

@@ -10,15 +10,20 @@
 //   - Down-pointers into the collected suffix, recorded by the write
 //     barrier in per-heap remembered sets, act as roots; the fields they
 //     describe are updated to the targets' new locations *before* the heap
-//     locks are released, which is what makes the read barrier's
-//     lock-and-revalidate protocol sound.
+//     gates reopen (hierarchy.Gate.EndCollect), which is what makes the
+//     read barrier's pin-then-validate protocol sound.
 //   - Remembered sets are rebuilt during the scan so entries never go
 //     stale: internal entries are re-derived from surviving objects,
 //     external ones are revalidated against the holder's current field.
 //
 // Collections happen at allocation points of the owning task, so the
 // mutator of the collected heaps is stopped; concurrent tasks can touch the
-// suffix only through entangled (pinned) objects or blocked slow paths.
+// suffix only through entangled (pinned) objects or slow paths parked at
+// the collection gate. There is no mutex: each scope heap's Gate is closed
+// for the duration (BeginCollect waits out in-flight entanglement slow
+// paths), per-object claims go through the header state machine
+// (mem.BeginCopy / mem.Forward), and the publication buffers are drained
+// into the owner-only views at the start.
 package gc
 
 import (
@@ -75,16 +80,21 @@ func (c *Collector) Collect(scope []*hierarchy.Heap) Result {
 		scope:   make(map[uint32]*hierarchy.Heap, len(scope)),
 		toAlloc: make(map[uint32]*mem.Allocator, len(scope)),
 	}
-	// Lock shallowest-first: consistent with hierarchy.Merge (parent before
-	// child) so entangled slow paths cannot deadlock against collections.
+	// Close the gates shallowest-first (entanglement slow paths never hold
+	// one gate while entering another, so any order is deadlock-free; this
+	// one matches the old lock order for easy comparison), then fold the
+	// lock-free publication buffers into the owner-only views: with the
+	// gate closed, no reader can be mid-publication, so the drained Pinned
+	// and Remset slices are complete.
 	for i := len(scope) - 1; i >= 0; i-- {
 		h := scope[i]
-		h.Mu.Lock()
+		h.Gate.BeginCollect()
+		h.DrainBuffers()
 		r.order = append(r.order, h)
 	}
 	defer func() {
 		for i := len(r.order) - 1; i >= 0; i-- {
-			r.order[i].Mu.Unlock()
+			r.order[i].Gate.EndCollect()
 		}
 	}()
 
@@ -222,17 +232,27 @@ func (r *run) forward(v mem.Value) mem.Value {
 	if !in {
 		return v
 	}
-	hd := r.c.Space.Header(ref)
-	switch {
-	case hd.Kind() == mem.KForward:
-		return r.c.Space.Load(ref, 0)
-	case hd.Pinned():
-		if r.c.Space.SetMark(ref) {
-			r.marked = append(r.marked, ref)
-			r.queue = append(r.queue, ref)
-			r.res.PinnedTraced++
+	// Claim the object through the header state machine. With the scope
+	// gates closed no pin can race us here, but the discipline is what
+	// makes the protocol auditable: a copy only ever starts from a
+	// successful PLAIN→BUSY transition, and every refusal tells us why.
+	hd, ok := r.c.Space.BeginCopy(ref)
+	if !ok {
+		switch {
+		case hd.Kind() == mem.KForward:
+			return r.c.Space.Load(ref, 0)
+		case hd.Pinned():
+			if r.c.Space.SetMark(ref) {
+				r.marked = append(r.marked, ref)
+				r.queue = append(r.queue, ref)
+				r.res.PinnedTraced++
+			}
+			return v
+		default:
+			// BUSY is unreachable: this collector is the only copier of
+			// its scope and completes each claim before the next.
+			panic("gc: BeginCopy refused a plain header")
 		}
-		return v
 	}
 	// Copy to the object's own heap's to-space, preserving heap membership
 	// and header flags (candidate survives the move).

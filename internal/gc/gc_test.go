@@ -243,9 +243,7 @@ func TestPinnedNotMoved(t *testing.T) {
 	w.sp.Store(pinned, 0, child.Value())
 	ha.adopt()
 	w.sp.Pin(pinned, 0)
-	leaf.Mu.Lock()
 	leaf.AddPinned(pinned)
-	leaf.Mu.Unlock()
 
 	res := w.c.Collect(w.tr.ExclusiveSuffix(leaf))
 	if res.PinnedTraced != 1 {
@@ -281,9 +279,7 @@ func TestPinnedChunkRetainedThenReclaimedAfterUnpin(t *testing.T) {
 	pinned := ha.al.AllocRef(mem.Int(1))
 	ha.adopt()
 	w.sp.Pin(pinned, 0)
-	leaf.Mu.Lock()
 	leaf.AddPinned(pinned)
-	leaf.Mu.Unlock()
 
 	res := w.c.Collect(w.tr.ExclusiveSuffix(leaf))
 	if res.RetainedChunks != 1 {

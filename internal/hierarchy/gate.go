@@ -1,0 +1,99 @@
+package hierarchy
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Gate is the per-heap collection gate that replaced Heap.Mu: a seqlock-
+// style collection epoch fused with a reader count in one atomic word.
+//
+//	bit   0       collecting — odd epoch: an LGC (or merge) is relocating
+//	              or re-owning this heap's objects right now
+//	bits  2..31   readers — entanglement slow paths currently pinning or
+//	              validating objects of this heap (bit 1 spare)
+//	bits 32..63   epoch — completed collections/merges of this heap
+//
+// Readers never block each other: entering is one atomic add (plus an undo
+// add in the rare case a collection is underway). A collector publishes the
+// odd epoch and waits for the reader count to drain; reader critical
+// sections are a handful of instructions, so the wait is bounded and short.
+// This reproduces MPL's lock-free pin/collect coordination: the per-object
+// decisions are made by single-CAS header transitions (package mem), and
+// the gate only orders the bulk phases — chunk release and ownership flips
+// — against in-flight pins.
+type Gate struct {
+	state atomic.Uint64
+}
+
+const (
+	gateCollecting = uint64(1) << 0
+	gateReader     = uint64(1) << 2
+	gateReaderMask = uint64(1)<<32 - 1 - 3 // bits 2..31
+	gateEpoch      = uint64(1) << 32
+)
+
+// EnterReader announces an entanglement slow path against this heap and
+// returns once no collection is relocating it. While the caller holds the
+// gate (until ExitReader), the heap's chunks cannot change ownership and
+// its objects cannot be relocated or reclaimed.
+func (g *Gate) EnterReader() {
+	for {
+		s := g.state.Add(gateReader)
+		if s&gateCollecting == 0 {
+			return
+		}
+		// A collection is underway: undo the announcement and wait for the
+		// epoch to turn even. Gosched rather than spinning hard: on small
+		// GOMAXPROCS the collector may need this very thread to progress.
+		g.state.Add(^(gateReader - 1))
+		for g.state.Load()&gateCollecting != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// ExitReader ends the announcement made by EnterReader.
+func (g *Gate) ExitReader() {
+	g.state.Add(^(gateReader - 1))
+}
+
+// BeginCollect publishes the odd epoch (collection in progress) and waits
+// for announced readers to drain. Only the heap's owning task collects or
+// merges it, so collector-side calls never contend; the nested-collect
+// panic guards against misuse. After BeginCollect returns, no entanglement
+// slow path can pin, publish, or validate against this heap until
+// EndCollect.
+func (g *Gate) BeginCollect() {
+	for {
+		s := g.state.Load()
+		if s&gateCollecting != 0 {
+			panic("hierarchy: nested BeginCollect on one heap")
+		}
+		if g.state.CompareAndSwap(s, s|gateCollecting) {
+			break
+		}
+	}
+	// Drain announced readers. New arrivals see the collecting bit and
+	// back off, so the count is monotonically draining.
+	for g.state.Load()&gateReaderMask != 0 {
+		runtime.Gosched()
+	}
+}
+
+// EndCollect publishes the next even epoch, re-admitting readers. The
+// single add clears the collecting bit (set by BeginCollect, so the -1
+// cannot borrow) and the carry increments the epoch field; transient
+// reader announcements that are about to back off are preserved exactly.
+func (g *Gate) EndCollect() {
+	if g.state.Load()&gateCollecting == 0 {
+		panic("hierarchy: EndCollect without BeginCollect")
+	}
+	g.state.Add(gateEpoch - 1)
+}
+
+// Epoch returns the number of completed collections/merges of this heap.
+func (g *Gate) Epoch() uint64 { return g.state.Load() >> 32 }
+
+// Collecting reports whether the heap is currently being relocated.
+func (g *Gate) Collecting() bool { return g.state.Load()&gateCollecting != 0 }

@@ -10,6 +10,7 @@
 package hierarchy
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +34,62 @@ type RememberedEntry struct {
 	Index  int
 }
 
+// seg/stack is a segmented Treiber stack: the lock-free publication buffer
+// foreign tasks push into. Slots within the top segment are claimed with a
+// fetch-add, so the common push is two atomic ops and no allocation; a new
+// segment (one small allocation per segCap pushes) is installed by CAS
+// when the top fills. Drain (owner-only) is a single swap.
+//
+// The slot stores themselves are plain: every push happens while holding
+// the owning heap's reader gate, and drain runs only after BeginCollect
+// has quiesced the gate, so the gate's atomics order claimed-and-written
+// slots before any drain that reads them.
+const segCap = 16
+
+type seg[T any] struct {
+	vals [segCap]T
+	n    atomic.Int32 // claimed slots; may transiently exceed segCap
+	next *seg[T]
+}
+
+type stack[T any] struct {
+	top atomic.Pointer[seg[T]]
+}
+
+func (s *stack[T]) push(v T) {
+	for {
+		sg := s.top.Load()
+		if sg != nil {
+			if i := int(sg.n.Add(1)) - 1; i < segCap {
+				sg.vals[i] = v
+				return
+			}
+			// Segment full (the overshoot is harmless; drain clamps).
+		}
+		nsg := &seg[T]{next: sg}
+		nsg.vals[0] = v
+		nsg.n.Store(1)
+		if s.top.CompareAndSwap(sg, nsg) {
+			return
+		}
+		// Lost the install race; retry against the new top.
+	}
+}
+
+// drain atomically detaches the stack and visits its entries in
+// unspecified order.
+func (s *stack[T]) drain(visit func(T)) {
+	for sg := s.top.Swap(nil); sg != nil; sg = sg.next {
+		n := int(sg.n.Load())
+		if n > segCap {
+			n = segCap
+		}
+		for i := 0; i < n; i++ {
+			visit(sg.vals[i])
+		}
+	}
+}
+
 // Heap is one node of the heap hierarchy.
 type Heap struct {
 	ID     uint32
@@ -41,21 +98,32 @@ type Heap struct {
 
 	pre, post *order.Elem // Euler-tour interval; guarded by Tree.mu
 
-	// Mu serializes the entanglement slow path (pinning objects in this
-	// heap, remembered-set appends from foreign writers) against this
-	// heap's local collections.
-	Mu sync.Mutex
+	// Gate orders this heap's bulk phases — local collection and the merge
+	// that retires it — against in-flight entanglement slow paths. Readers
+	// enter with one atomic add; there is no mutex anywhere on that path
+	// (formerly deviation D3).
+	Gate Gate
 
 	// Chunks are the chunks currently owned by this heap. Mutated only by
 	// the owning task (allocation, collection, merging of its children).
 	Chunks []*mem.Chunk
 
 	// Remset holds down-pointer entries whose targets may live in this
-	// heap. Guarded by Mu when appended by foreign tasks.
+	// heap. Owner-only view; foreign writers publish into remBuf and the
+	// owner folds the buffer in with DrainBuffers at collection start.
 	Remset []RememberedEntry
 
-	// Pinned lists pinned objects residing in this heap. Guarded by Mu.
+	// Pinned lists pinned objects residing in this heap. Owner-only view;
+	// entangled readers publish into pinBuf under the reader gate.
 	Pinned []mem.Ref
+
+	// pinBuf and remBuf are the lock-free publication buffers. Both are
+	// pushed only while holding the reader gate (the entanglement barriers
+	// enter the gate, re-validate ownership, push, exit), so after
+	// BeginCollect + DrainBuffers the owner sees every published entry —
+	// nothing can be lost to a racing merge or collection.
+	pinBuf stack[mem.Ref]
+	remBuf stack[RememberedEntry]
 
 	// RootSets are the shadow stacks of tasks attached to this heap: the
 	// owning task and any suspended ancestors of the current leaf.
@@ -102,23 +170,61 @@ func (h *Heap) RemoveRootSet(rs RootSet) {
 	}
 }
 
-// AddRemembered records a down-pointer entry. Safe for concurrent use.
+// AddRemembered records a down-pointer entry. Lock-free; the write barrier
+// calls it while holding h.Gate as a reader (see AddPinned).
 func (h *Heap) AddRemembered(holder mem.Ref, index int) {
-	h.Mu.Lock()
-	h.Remset = append(h.Remset, RememberedEntry{holder, index})
-	h.Mu.Unlock()
+	h.remBuf.push(RememberedEntry{holder, index})
 }
 
-// AddPinned records a pinned object residing in this heap.
-// The caller must hold h.Mu (the entanglement slow path does).
-func (h *Heap) AddPinned(r mem.Ref) { h.Pinned = append(h.Pinned, r) }
+// AddRememberedLocal records a down-pointer entry directly in the
+// owner-only view, with no gate and no atomics. Only the task currently
+// executing in h may call it: a heap is run by one strand at a time, and
+// that same strand (or a join that happens-after it) performs every drain,
+// collection and merge of h, so owner appends cannot race them.
+func (h *Heap) AddRememberedLocal(holder mem.Ref, index int) {
+	h.Remset = append(h.Remset, RememberedEntry{holder, index})
+}
+
+// AddPinned records a pinned object residing in this heap. Lock-free; the
+// entanglement slow path calls it while holding h.Gate as a reader, which
+// guarantees the entry is visible to the next collection's DrainBuffers.
+func (h *Heap) AddPinned(r mem.Ref) { h.pinBuf.push(r) }
+
+// DrainBuffers folds the lock-free publication buffers into the owner-only
+// Pinned and Remset views. Called by the owning task, normally right after
+// Gate.BeginCollect (collection or merge start), when no reader can be
+// mid-publication.
+func (h *Heap) DrainBuffers() {
+	h.pinBuf.drain(func(r mem.Ref) { h.Pinned = append(h.Pinned, r) })
+	h.remBuf.drain(func(e RememberedEntry) { h.Remset = append(h.Remset, e) })
+}
+
+// heapBlock is one leaf of the two-level id→heap table. Slots are atomic
+// pointers so lock-free readers can race the (mutex-serialized) writer.
+const heapBlockBits = 10
+const heapBlockSize = 1 << heapBlockBits
+
+type heapBlock [heapBlockSize]atomic.Pointer[Heap]
 
 // Tree is the heap hierarchy.
 type Tree struct {
-	mu    sync.RWMutex // guards the order list and structural edits
+	mu    sync.Mutex // serializes structural edits (Fork, Merge)
 	order *order.List
-	heaps []*Heap // id -> heap; id 0 unused
 	root  *Heap
+
+	// ver is a seqlock over the Euler-tour labels: Fork bumps it to odd
+	// before touching the order list and back to even after. Order queries
+	// (IsAncestor, LCA) run lock-free and retry when they overlap an edit —
+	// an overlapping relabel can hand them a mix of old and new tags.
+	ver atomic.Uint64
+
+	// spine is the growable two-level id→heap table. Readers resolve ids
+	// with three atomic loads and no shared-line read-modify-write, which
+	// matters because every barrier slow path resolves at least one id.
+	// Writers (Fork) hold mu; growth installs a copied spine, so a stale
+	// spine keeps answering for the ids it covers.
+	spine  atomic.Pointer[[]atomic.Pointer[heapBlock]]
+	nextID uint32 // next heap id; guarded by mu
 
 	// UseWalkAncestor switches ancestor queries to naive parent walking,
 	// for the AblateAncestor experiment.
@@ -128,40 +234,71 @@ type Tree struct {
 // New creates a hierarchy containing only the root heap.
 func New() *Tree {
 	t := &Tree{order: order.NewList()}
-	t.heaps = make([]*Heap, 1, 64)
+	spine := make([]atomic.Pointer[heapBlock], 1)
+	spine[0].Store(new(heapBlock))
+	t.spine.Store(&spine)
 	root := &Heap{ID: 1, depth: 0}
 	root.pre = t.order.Base().InsertAfter()
 	root.post = root.pre.InsertAfter()
-	t.heaps = append(t.heaps, root)
+	t.put(root)
+	t.nextID = 2
 	t.root = root
 	return t
+}
+
+// put publishes h in the id table. Caller holds t.mu (or is New).
+func (t *Tree) put(h *Heap) {
+	sp := *t.spine.Load()
+	bi := int(h.ID >> heapBlockBits)
+	if bi >= len(sp) {
+		nsp := make([]atomic.Pointer[heapBlock], 2*len(sp))
+		for i := range sp {
+			nsp[i].Store(sp[i].Load())
+		}
+		t.spine.Store(&nsp)
+		sp = nsp
+	}
+	blk := sp[bi].Load()
+	if blk == nil {
+		blk = new(heapBlock)
+		sp[bi].Store(blk)
+	}
+	blk[h.ID&(heapBlockSize-1)].Store(h)
 }
 
 // Root returns the root heap.
 func (t *Tree) Root() *Heap { return t.root }
 
-// Get returns the heap with the given id.
+// Get returns the heap with the given id, or nil if no such heap has been
+// published yet. Lock-free: three atomic loads.
 func (t *Tree) Get(id uint32) *Heap {
-	t.mu.RLock()
-	h := t.heaps[id]
-	t.mu.RUnlock()
-	return h
+	sp := *t.spine.Load()
+	bi := int(id >> heapBlockBits)
+	if bi >= len(sp) {
+		return nil
+	}
+	blk := sp[bi].Load()
+	if blk == nil {
+		return nil
+	}
+	return blk[id&(heapBlockSize-1)].Load()
 }
 
 // Count returns the number of heaps ever created.
 func (t *Tree) Count() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.heaps) - 1
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(t.nextID) - 1
 }
 
 // Live returns all heaps that have not merged away.
 func (t *Tree) Live() []*Heap {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	n := t.nextID
+	t.mu.Unlock()
 	var out []*Heap
-	for _, h := range t.heaps[1:] {
-		if !h.Dead {
+	for id := uint32(1); id < n; id++ {
+		if h := t.Get(id); h != nil && !h.Dead {
 			out = append(out, h)
 		}
 	}
@@ -171,18 +308,25 @@ func (t *Tree) Live() []*Heap {
 // Fork creates a new child heap of parent.
 func (t *Tree) Fork(parent *Heap) *Heap {
 	t.mu.Lock()
-	h := &Heap{ID: uint32(len(t.heaps)), parent: parent, depth: parent.depth + 1}
+	h := &Heap{ID: t.nextID, parent: parent, depth: parent.depth + 1}
+	t.nextID++
 	// Nest the child's Euler interval immediately inside the parent's pre
 	// visit; sibling intervals stack leftward, which preserves nesting.
+	// The seqlock covers the inserts: they may relabel tags that racing
+	// order queries are reading.
+	t.ver.Add(1)
 	h.pre = parent.pre.InsertAfter()
 	h.post = h.pre.InsertAfter()
-	t.heaps = append(t.heaps, h)
+	t.ver.Add(1)
+	t.put(h)
 	t.mu.Unlock()
 	parent.liveChildren.Add(1)
 	return h
 }
 
 // IsAncestor reports whether a is an ancestor of (or equal to) d.
+// Lock-free: the interval test runs under the tree's seqlock and retries
+// if a structural edit overlapped it.
 func (t *Tree) IsAncestor(a, d *Heap) bool {
 	if a == d {
 		return true
@@ -195,20 +339,51 @@ func (t *Tree) IsAncestor(a, d *Heap) bool {
 		}
 		return false
 	}
-	t.mu.RLock()
-	ok := order.Leq(a.pre, d.pre) && order.Leq(d.post, a.post)
-	t.mu.RUnlock()
-	return ok
+	for {
+		v := t.ver.Load()
+		if v&1 == 0 {
+			ok := order.Leq(a.pre, d.pre) && order.Leq(d.post, a.post)
+			if t.ver.Load() == v {
+				return ok
+			}
+		}
+		runtime.Gosched()
+	}
 }
 
-// LCA returns the least common ancestor of a and b.
+// LCA returns the least common ancestor of a and b. The whole parent walk
+// runs inside one seqlock attempt: parent pointers and depths are immutable
+// after Fork, and a consistent tag snapshot (version unchanged across the
+// walk) makes the interval tests coherent with each other.
 func (t *Tree) LCA(a, b *Heap) *Heap {
-	for x := a; x != nil; x = x.parent {
-		if t.IsAncestor(x, b) {
-			return x
-		}
+	if a == b {
+		return a
 	}
-	return t.root
+	if t.UseWalkAncestor {
+		for x := a; x != nil; x = x.parent {
+			if t.IsAncestor(x, b) {
+				return x
+			}
+		}
+		return t.root
+	}
+	for {
+		v := t.ver.Load()
+		if v&1 == 0 {
+			for x := a; x != nil; x = x.parent {
+				if x == b || (order.Leq(x.pre, b.pre) && order.Leq(b.post, x.post)) {
+					if t.ver.Load() != v {
+						break // edit overlapped the walk; retry
+					}
+					return x
+				}
+			}
+			if t.ver.Load() == v {
+				return t.root
+			}
+		}
+		runtime.Gosched()
+	}
 }
 
 // Merge folds child into parent at a join: chunk ownership, remembered
@@ -216,15 +391,24 @@ func (t *Tree) LCA(a, b *Heap) *Heap {
 // unpin depth has been reached are unpinned. The caller is the task owning
 // parent (joins are serialized per parent by fork–join structure).
 //
-// space is needed to flip chunk owners and unpin headers.
-func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int) {
+// Only the child's gate is taken: every parent-side structure touched here
+// is either owner-only (Chunks, Remset, Pinned, RootSets) or lock-free
+// (the publication buffers foreign readers push into). Entangled readers
+// that raced past the gate and re-pinned a child object are honoured by
+// the TryUnpin snapshot-CAS: a pin whose depth was lowered after we
+// examined the header can never be revoked unseen.
+//
+// space is needed to flip chunk owners and unpin headers. Besides the
+// count, Merge returns the total size (header + payload words) of the
+// unpinned objects, for the pinned-bytes gauge.
+func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int, unpinnedWords int64) {
 	if child.parent != parent {
 		panic("hierarchy: merge of non-child")
 	}
-	// Take both locks so entangled readers never observe a half-merged
-	// heap. Lock order: parent before child (consistent with depth).
-	parent.Mu.Lock()
-	child.Mu.Lock()
+	// Quiesce slow paths targeting the child: after BeginCollect no reader
+	// can be between validating the child's ownership and publishing a pin.
+	child.Gate.BeginCollect()
+	child.DrainBuffers()
 
 	for _, c := range child.Chunks {
 		c.SetHeapID(parent.ID)
@@ -237,16 +421,26 @@ func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int) {
 
 	// Unpin objects whose unpin depth has been reached: the entangled
 	// tasks have joined, so these are ordinary objects of the merged heap.
+	// Readers may already be pinning through the parent (the chunks above
+	// carry its ID now), so each unpin is a snapshot-CAS retry loop.
 	for _, r := range child.Pinned {
-		h := space.Header(r)
-		if h.Kind() == mem.KForward {
-			continue // stale entry; object was copied and list rebuilt elsewhere
-		}
-		if h.Pinned() && h.UnpinDepth() >= parent.depth {
-			space.Unpin(r)
-			unpinned++
-		} else if h.Pinned() {
-			parent.Pinned = append(parent.Pinned, r)
+		for {
+			h := space.Header(r)
+			if h.Kind() == mem.KForward || !h.Pinned() {
+				break // stale entry; copied or already unpinned
+			}
+			if h.UnpinDepth() < parent.depth {
+				// Still entangled above the join point (possibly re-pinned
+				// shallower by a racing reader): keep it, move the entry up.
+				parent.Pinned = append(parent.Pinned, r)
+				break
+			}
+			if space.TryUnpin(r, h) {
+				unpinned++
+				unpinnedWords += int64(h.Len()) + 1
+				break
+			}
+			// Lost a race against a concurrent re-pin; re-examine.
 		}
 	}
 	child.Pinned = nil
@@ -258,8 +452,9 @@ func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int) {
 	parent.Collections += child.Collections
 	parent.CopiedWords += child.CopiedWords
 
-	child.Mu.Unlock()
-	parent.Mu.Unlock()
+	// Re-admit readers: they will fail ownership validation against the
+	// dead child and retry against the parent.
+	child.Gate.EndCollect()
 
 	t.mu.Lock()
 	child.pre.Delete()
@@ -267,7 +462,7 @@ func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int) {
 	t.mu.Unlock()
 
 	parent.liveChildren.Add(-1)
-	return unpinned
+	return unpinned, unpinnedWords
 }
 
 // ExclusiveSuffix returns the chain of heaps from leaf upward that are

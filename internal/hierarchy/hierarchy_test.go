@@ -145,16 +145,17 @@ func TestMergeUnpinsAtDepth(t *testing.T) {
 
 	sp.Pin(deepPin, 1)
 	sp.Pin(shallowPin, 0)
-	leaf.Mu.Lock()
 	leaf.AddPinned(deepPin)
 	leaf.AddPinned(shallowPin)
-	leaf.Mu.Unlock()
 
 	// Merging leaf (2) into mid (1): deepPin's unpin depth (1) >= 1 → unpin;
 	// shallowPin (0) stays pinned and moves to mid's list.
-	n := tr.Merge(leaf, mid, sp)
+	n, words := tr.Merge(leaf, mid, sp)
 	if n != 1 {
 		t.Fatalf("unpinned = %d, want 1", n)
+	}
+	if words != 2 { // ref cell: header + one payload word
+		t.Fatalf("unpinned words = %d, want 2", words)
 	}
 	if sp.Header(deepPin).Pinned() {
 		t.Fatal("deepPin still pinned after reaching its unpin depth")
@@ -167,7 +168,7 @@ func TestMergeUnpinsAtDepth(t *testing.T) {
 	}
 
 	// Final merge to root unpins the rest.
-	n = tr.Merge(mid, root, sp)
+	n, _ = tr.Merge(mid, root, sp)
 	if n != 1 || sp.Header(shallowPin).Pinned() {
 		t.Fatal("second merge failed to unpin")
 	}

@@ -55,15 +55,39 @@ func (k Kind) Scanned() bool { return k == KTuple || k == KArray || k == KRefCel
 //	bit   4      pinned — the object may not be moved or reclaimed by LGC
 //	bit   5      mark — transient mark used inside a single collection
 //	bit   6      valid — always set; guarantees headers are nonzero
+//	bit   7      busy — a copying collector has claimed the object for
+//	             relocation; pin attempts must back off and retry
 //	bits 16..47  payload length in words (max 2^32-1, clipped by offBits)
 //	bits 48..63  unpin depth — the shallowest hierarchy depth at which the
 //	             object was pinned; merging to that depth unpins it
+//
+// The header is a small atomic state machine coordinating the entanglement
+// slow path with the copying collector, with three stable states and one
+// transient one:
+//
+//	           PinHeader (CAS)                  TryUnpin (CAS, at joins)
+//	  ┌────────────────────────────► PINNED ────────────────────────────┐
+//	  │                                ▲                                │
+//	PLAIN ◄────────────────────────────┼────────────────────────────────┘
+//	  │                                │ PinHeader while BUSY/FORWARDED
+//	  │ BeginCopy (CAS)                │ fails; the reader re-validates
+//	  ▼                                │ and retries against the object's
+//	 BUSY ──────────────────────► FORWARDED (terminal)
+//	       Forward (store; the
+//	       collector owns BUSY)
+//
+// Every transition is a single CAS on the header word, so a pin can be
+// ordered against a concurrent copy without any external lock: exactly one
+// of PinHeader / BeginCopy wins on a PLAIN header, and each loser observes
+// why it lost (PinBusy / PinForwarded, or a pinned header making BeginCopy
+// return false, telling the collector to trace the object in place).
 const (
 	hdrKindMask  = 0x7
 	hdrCandidate = 1 << 3
 	hdrPinned    = 1 << 4
 	hdrMark      = 1 << 5
 	hdrValid     = 1 << 6
+	hdrBusy      = 1 << 7
 	hdrLenShift  = 16
 	hdrLenMask   = 0xFFFFFFFF
 	hdrUnpinSh   = 48
@@ -94,6 +118,9 @@ func (h Header) Pinned() bool { return h&hdrPinned != 0 }
 
 // Marked reports the transient mark bit.
 func (h Header) Marked() bool { return h&hdrMark != 0 }
+
+// Busy reports whether a collector has claimed the object for relocation.
+func (h Header) Busy() bool { return h&hdrBusy != 0 }
 
 // Valid reports whether this looks like a real object header.
 func (h Header) Valid() bool { return h&hdrValid != 0 }
@@ -145,11 +172,39 @@ func (s *Space) clearHeaderBits(r Ref, bits uint64) {
 // It reports whether the bit was newly set.
 func (s *Space) SetCandidate(r Ref) bool { return s.setHeaderBits(r, hdrCandidate) }
 
-// Pin pins r with the given unpin depth, preventing the moving collector
-// from relocating or reclaiming it. If r is already pinned, the unpin depth
-// is lowered to min(existing, depth) so the object stays pinned long enough
-// for every entanglement involving it. It reports whether r was newly pinned.
-func (s *Space) Pin(r Ref, unpinDepth int) bool {
+// PinStatus reports the outcome of a PinHeader transition attempt.
+type PinStatus uint8
+
+const (
+	// PinNew means the object was newly pinned (the caller owns the
+	// obligation to publish the pin to the heap's pin buffer).
+	PinNew PinStatus = iota
+	// PinDepthLowered means the object was already pinned and this call
+	// lowered its unpin depth (extending the pin's lifetime).
+	PinDepthLowered
+	// PinAlready means the object was already pinned at least as deep as
+	// requested; the header was not modified.
+	PinAlready
+	// PinBusy means a collector holds the object in the transient BUSY
+	// state mid-copy; the caller must back off and retry.
+	PinBusy
+	// PinForwarded means the object has been relocated; the caller must
+	// re-read the field it came from and retry against the new location.
+	PinForwarded
+)
+
+// PinHeader attempts the PLAIN/PINNED → PINNED transition on r with the
+// given unpin depth: a single CAS that fails cleanly against a concurrent
+// copy. If r is already pinned, the unpin depth is lowered to
+// min(existing, depth) so the object stays pinned long enough for every
+// entanglement involving it. The busy and forwarded states are reported to
+// the caller rather than retried here — resolving them needs information
+// (the holder field, the heap epoch) only the caller has.
+//
+// Besides the status, PinHeader returns the header it acted on (as
+// written, for the successful transitions; as observed, for the refused
+// ones), so callers costing the pin need no second header load.
+func (s *Space) PinHeader(r Ref, unpinDepth int) (PinStatus, Header) {
 	if unpinDepth < 0 {
 		unpinDepth = 0
 	}
@@ -161,6 +216,12 @@ func (s *Space) Pin(r Ref, unpinDepth int) bool {
 	for {
 		old := atomic.LoadUint64(p)
 		h := Header(old)
+		if h.Kind() == KForward {
+			return PinForwarded, h
+		}
+		if h.Busy() {
+			return PinBusy, h
+		}
 		newDepth := unpinDepth
 		wasPinned := h.Pinned()
 		if wasPinned && h.UnpinDepth() < newDepth {
@@ -168,15 +229,25 @@ func (s *Space) Pin(r Ref, unpinDepth int) bool {
 		}
 		nw := old&^(uint64(0xFFFF)<<hdrUnpinSh) | hdrPinned | uint64(newDepth)<<hdrUnpinSh
 		if nw == old {
-			return false
+			return PinAlready, h
 		}
 		if atomic.CompareAndSwapUint64(p, old, nw) {
 			if !wasPinned {
 				atomic.AddInt32(&c.PinCount, 1)
+				return PinNew, Header(nw)
 			}
-			return !wasPinned
+			return PinDepthLowered, Header(nw)
 		}
 	}
+}
+
+// Pin pins r with the given unpin depth, preventing the moving collector
+// from relocating or reclaiming it. It reports whether r was newly pinned.
+// Single-owner convenience wrapper over PinHeader: callers racing a
+// collector must use PinHeader and handle PinBusy/PinForwarded themselves.
+func (s *Space) Pin(r Ref, unpinDepth int) bool {
+	st, _ := s.PinHeader(r, unpinDepth)
+	return st == PinNew
 }
 
 // Unpin clears the pinned bit of r. It reports whether r was pinned.
@@ -191,6 +262,45 @@ func (s *Space) Unpin(r Ref) bool {
 		if atomic.CompareAndSwapUint64(p, old, old&^uint64(hdrPinned)) {
 			atomic.AddInt32(&c.PinCount, -1)
 			return true
+		}
+	}
+}
+
+// TryUnpin performs the PINNED → PLAIN transition only if r's header still
+// equals the snapshot the caller examined: a concurrent PinHeader that
+// lowered the unpin depth in between makes the CAS fail, so a join can
+// never revoke a pin it has not seen. It reports whether the unpin took.
+func (s *Space) TryUnpin(r Ref, observed Header) bool {
+	if !observed.Pinned() {
+		return false
+	}
+	c := s.chunk(r.Chunk())
+	p := &c.Data[r.Off()]
+	if atomic.CompareAndSwapUint64(p, uint64(observed), uint64(observed)&^uint64(hdrPinned)) {
+		atomic.AddInt32(&c.PinCount, -1)
+		return true
+	}
+	return false
+}
+
+// BeginCopy attempts the PLAIN → BUSY transition, claiming r for
+// relocation. It returns the claimed header and true on success; if r is
+// pinned, already claimed, or already forwarded, it returns the current
+// header and false and the collector must trace the object in place (or
+// skip it). While BUSY, the claiming collector is the only mutator of the
+// header: PinHeader backs off, and no other collector can reach the object
+// (collections are per-suffix and suffixes are disjoint).
+func (s *Space) BeginCopy(r Ref) (Header, bool) {
+	c := s.chunk(r.Chunk())
+	p := &c.Data[r.Off()]
+	for {
+		old := atomic.LoadUint64(p)
+		h := Header(old)
+		if h.Pinned() || h.Busy() || h.Kind() == KForward {
+			return h, false
+		}
+		if atomic.CompareAndSwapUint64(p, old, old|hdrBusy) {
+			return h, true
 		}
 	}
 }
@@ -254,11 +364,15 @@ func (s *Space) StoreRaw(r Ref, i int, w uint64) {
 }
 
 // Forward overwrites the object at old with a forwarding header pointing to
-// its new location. The payload length is preserved in the forwarding header
-// so that from-space scans can still skip over the object.
+// its new location: the BUSY → FORWARDED transition. The payload length is
+// preserved in the forwarding header so that from-space scans can still
+// skip over the object. Callers must have claimed old via BeginCopy (which
+// makes the plain stores race-free: PinHeader never CASes a busy header),
+// and must have finished copying the payload — the forwarding header is the
+// linearization point after which readers chase the new location.
 func (s *Space) Forward(old, new Ref) {
 	c := s.chunk(old.Chunk())
-	n := Header(c.Data[old.Off()]).Len()
+	n := Header(atomic.LoadUint64(&c.Data[old.Off()])).Len()
 	atomic.StoreUint64(&c.Data[old.Off()+1], uint64(new.Value()))
 	atomic.StoreUint64(&c.Data[old.Off()], uint64(KForward)|hdrValid|uint64(n)<<hdrLenShift)
 }

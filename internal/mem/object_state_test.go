@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// newTestObj allocates one tuple of the given arity in a fresh heap.
+func newTestObj(t testing.TB, words int) (*Space, Ref) {
+	t.Helper()
+	sp := NewSpace()
+	al := NewAllocator(sp, 1)
+	r := al.Alloc(KTuple, words)
+	return sp, r
+}
+
+func TestPinHeaderTransitions(t *testing.T) {
+	sp, r := newTestObj(t, 2)
+
+	if st, _ := sp.PinHeader(r, 3); st != PinNew {
+		t.Fatalf("first pin: %v, want PinNew", st)
+	}
+	if h := sp.Header(r); !h.Pinned() || h.UnpinDepth() != 3 {
+		t.Fatalf("header after pin: pinned=%v depth=%d", h.Pinned(), h.UnpinDepth())
+	}
+	// Deeper request: no change.
+	if st, _ := sp.PinHeader(r, 5); st != PinAlready {
+		t.Fatalf("deeper re-pin: %v, want PinAlready", st)
+	}
+	// Shallower request lowers the depth.
+	if st, _ := sp.PinHeader(r, 1); st != PinDepthLowered {
+		t.Fatalf("shallower re-pin: %v, want PinDepthLowered", st)
+	}
+	if d := sp.Header(r).UnpinDepth(); d != 1 {
+		t.Fatalf("depth after lowering = %d, want 1", d)
+	}
+	// PinCount tracked exactly once.
+	if pc := sp.ChunkByID(r.Chunk()).PinCount; pc != 1 {
+		t.Fatalf("PinCount = %d, want 1", pc)
+	}
+}
+
+func TestBeginCopyExcludesPin(t *testing.T) {
+	sp, r := newTestObj(t, 1)
+
+	h, ok := sp.BeginCopy(r)
+	if !ok || h.Kind() != KTuple {
+		t.Fatalf("BeginCopy on plain object failed: %v %v", h, ok)
+	}
+	if !sp.Header(r).Busy() {
+		t.Fatal("busy bit not set")
+	}
+	// A pin attempt against a busy object must back off, not block or win.
+	if st, _ := sp.PinHeader(r, 0); st != PinBusy {
+		t.Fatalf("pin of busy object: %v, want PinBusy", st)
+	}
+	// A second claim must fail too.
+	if _, ok := sp.BeginCopy(r); ok {
+		t.Fatal("double BeginCopy succeeded")
+	}
+
+	// Complete the copy: the forwarded state is terminal for pinning.
+	al := NewAllocator(sp, 1)
+	nr := al.Alloc(KTuple, 1)
+	sp.Forward(r, nr)
+	if st, _ := sp.PinHeader(r, 0); st != PinForwarded {
+		t.Fatalf("pin of forwarded object: %v, want PinForwarded", st)
+	}
+	if got, fwd := sp.Forwarded(r); !fwd || got != nr {
+		t.Fatalf("Forwarded(r) = %v, %v", got, fwd)
+	}
+}
+
+func TestBeginCopyRefusesPinned(t *testing.T) {
+	sp, r := newTestObj(t, 1)
+	sp.PinHeader(r, 0)
+	if h, ok := sp.BeginCopy(r); ok || !h.Pinned() {
+		t.Fatalf("BeginCopy claimed a pinned object (h=%v ok=%v)", h, ok)
+	}
+}
+
+func TestTryUnpinRespectsConcurrentRepin(t *testing.T) {
+	sp, r := newTestObj(t, 1)
+	sp.PinHeader(r, 2)
+	observed := sp.Header(r)
+
+	// A racing reader lowers the depth after the join examined the header.
+	if st, _ := sp.PinHeader(r, 1); st != PinDepthLowered {
+		t.Fatalf("repin: %v", st)
+	}
+	if sp.TryUnpin(r, observed) {
+		t.Fatal("TryUnpin revoked a pin it had not seen")
+	}
+	if !sp.Header(r).Pinned() {
+		t.Fatal("object lost its pin")
+	}
+
+	// With a current snapshot the unpin takes.
+	if !sp.TryUnpin(r, sp.Header(r)) {
+		t.Fatal("TryUnpin with fresh snapshot failed")
+	}
+	if sp.Header(r).Pinned() {
+		t.Fatal("still pinned after TryUnpin")
+	}
+	if pc := sp.ChunkByID(r.Chunk()).PinCount; pc != 0 {
+		t.Fatalf("PinCount = %d, want 0", pc)
+	}
+}
+
+func TestTryUnpinIgnoresUnpinned(t *testing.T) {
+	sp, r := newTestObj(t, 1)
+	if sp.TryUnpin(r, sp.Header(r)) {
+		t.Fatal("TryUnpin of an unpinned object reported success")
+	}
+}
+
+// TestPinVsBeginCopyRace drives the central guarantee of the state machine
+// under the race detector: for each fresh object, one goroutine attempts
+// PinHeader while another attempts BeginCopy; exactly one must win, and the
+// loser must observe why.
+func TestPinVsBeginCopyRace(t *testing.T) {
+	const rounds = 2000
+	sp := NewSpace()
+	al := NewAllocator(sp, 1)
+	for i := 0; i < rounds; i++ {
+		r := al.Alloc(KRefCell, 1)
+		var (
+			wg      sync.WaitGroup
+			pinSt   PinStatus
+			copyOK  bool
+			copyHdr Header
+		)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			pinSt, _ = sp.PinHeader(r, 0)
+		}()
+		go func() {
+			defer wg.Done()
+			copyHdr, copyOK = sp.BeginCopy(r)
+		}()
+		wg.Wait()
+
+		pinned := pinSt == PinNew
+		switch {
+		case pinned && copyOK:
+			t.Fatalf("round %d: both pin and copy won (hdr=%#x)", i, uint64(sp.Header(r)))
+		case pinned && !copyOK:
+			if !copyHdr.Pinned() {
+				t.Fatalf("round %d: copy lost but did not observe the pin", i)
+			}
+		case !pinned && copyOK:
+			if pinSt != PinBusy {
+				t.Fatalf("round %d: pin lost with status %v, want PinBusy", i, pinSt)
+			}
+		default:
+			t.Fatalf("round %d: nobody won (pin=%v copy=%v)", i, pinSt, copyOK)
+		}
+	}
+}

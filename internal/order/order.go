@@ -8,17 +8,23 @@
 // mechanism MPL-style runtimes use to make the entanglement barriers'
 // ancestor checks constant-time (DESIGN.md decision 5).
 //
-// The list itself is not synchronized; callers (package hierarchy) guard
-// it with a readers–writer lock because relabeling rewrites tags that
-// concurrent order queries read.
+// Mutations (InsertAfter, Delete, and the relabeling they trigger) must be
+// serialized by the caller (package hierarchy holds the tree mutex).
+// Order queries (Less, Leq) may run concurrently with mutations: tags are
+// atomics, so racing queries are well-defined — but a query overlapping a
+// relabel can observe a mix of old and new tags and answer wrongly.
+// Callers detect that with a seqlock (hierarchy.Tree's version counter)
+// and retry; the atomics here only guarantee the race is benign.
 package order
+
+import "sync/atomic"
 
 // tagSpace is the size of the circular label space.
 const tagSpace = uint64(1) << 62
 
 // Elem is an element of an order-maintenance list.
 type Elem struct {
-	tag        uint64
+	tag        atomic.Uint64
 	prev, next *Elem
 	list       *List
 }
@@ -47,9 +53,10 @@ func (l *List) Len() int { return l.n }
 func (l *List) Base() *Elem { return l.base }
 
 // rel returns e's label relative to the sentinel, the quantity that defines
-// list order.
+// list order. The sentinel's tag never changes after NewList, so only e's
+// own tag load can race a relabel.
 func (e *Elem) rel() uint64 {
-	return (e.tag - e.list.base.tag) % tagSpace
+	return (e.tag.Load() - e.list.base.tag.Load()) % tagSpace
 }
 
 // Less reports whether a precedes b in the list. a and b must belong to the
@@ -69,7 +76,8 @@ func (e *Elem) InsertAfter() *Elem {
 		succ = e.next
 		gap = gapBetween(e, succ)
 	}
-	n := &Elem{list: l, tag: e.tag + gap/2}
+	n := &Elem{list: l}
+	n.tag.Store(e.tag.Load() + gap/2)
 	n.prev, n.next = e, succ
 	e.next, succ.prev = n, n
 	l.n++
@@ -125,14 +133,18 @@ func (e *Elem) relabel() {
 	}
 	// Spread the j elements in (e, end) evenly across span.
 	step := span / j
-	tag := e.tag
+	tag := e.tag.Load()
 	for x := e.next; x != end; x = x.next {
 		tag += step
-		x.tag = tag
+		x.tag.Store(tag)
 	}
 }
 
 // Delete removes e from its list. Deleting the sentinel is a bug.
+// The tag survives deletion, so order queries against a deleted element
+// still return its last position rather than crashing (package hierarchy
+// relies on this for reads racing a heap merge, which it detects and
+// retries).
 func (e *Elem) Delete() {
 	if e == e.list.base {
 		panic("order: deleting sentinel")

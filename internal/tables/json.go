@@ -2,6 +2,7 @@ package tables
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 )
@@ -18,6 +19,13 @@ type BenchEntry struct {
 	T64SimNS  int64   `json:"t64_sim_ns"`
 	Overhead  float64 `json:"overhead"`  // T1 / Tseq
 	Speedup64 float64 `json:"speedup64"` // Tseq / T64(sim)
+
+	// T4 entanglement cost metrics of the T1 run: how hard the slow path
+	// was exercised and what it cost in pinned memory. Zero for the
+	// disentangled suite.
+	EntReads        int64 `json:"ent_reads"`
+	Pins            int64 `json:"pins"`
+	PinnedPeakBytes int64 `json:"pinned_peak_bytes"`
 }
 
 // BenchReport is the top-level JSON document written beside the tables so
@@ -42,13 +50,16 @@ func WriteBenchJSON(rows []TimeRow, timestamp string, scale int, path string) er
 	}
 	for _, r := range rows {
 		rep.Benchmarks = append(rep.Benchmarks, BenchEntry{
-			Name:      r.Name,
-			Entangled: r.Entangled,
-			TseqNS:    r.Tseq.Nanoseconds(),
-			T1NS:      r.T1.Nanoseconds(),
-			T64SimNS:  r.T64.Nanoseconds(),
-			Overhead:  r.Overhead,
-			Speedup64: r.Speedup64,
+			Name:            r.Name,
+			Entangled:       r.Entangled,
+			TseqNS:          r.Tseq.Nanoseconds(),
+			T1NS:            r.T1.Nanoseconds(),
+			T64SimNS:        r.T64.Nanoseconds(),
+			Overhead:        r.Overhead,
+			Speedup64:       r.Speedup64,
+			EntReads:        r.EntReads,
+			Pins:            r.Pins,
+			PinnedPeakBytes: r.PinnedPeakBytes,
 		})
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -56,4 +67,55 @@ func WriteBenchJSON(rows []TimeRow, timestamp string, scale int, path string) er
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchJSON loads a previously written bench report.
+func ReadBenchJSON(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// gateFloorNS exempts very short benchmarks from the regression gate:
+// below ~2ms of T1, the overhead ratio is dominated by timer granularity
+// and process-level mode switches (observed as stable ±25% bimodality even
+// under best-of-N sampling), so gating on it would only produce flakes.
+// The entries are still recorded in the JSON for the perf trajectory.
+const gateFloorNS = 2_000_000
+
+// CompareBenchReports checks fresh against base and returns one line per
+// benchmark whose T1 overhead (T1/Tseq) regressed by more than tolerance
+// (e.g. 0.15 for 15%). Overhead is a ratio of two timings from the same
+// run, so it is far more stable across machines and load than raw
+// nanoseconds — that is what makes it usable as a CI gate. Benchmarks
+// missing from either report, and ones faster than gateFloorNS, are
+// skipped (the suite may grow).
+func CompareBenchReports(base, fresh *BenchReport, tolerance float64) []string {
+	baseline := make(map[string]BenchEntry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseline[e.Name] = e
+	}
+	var regressions []string
+	for _, e := range fresh.Benchmarks {
+		b, ok := baseline[e.Name]
+		if !ok || b.Overhead <= 0 {
+			continue
+		}
+		if e.T1NS < gateFloorNS && b.T1NS < gateFloorNS {
+			continue
+		}
+		if e.Overhead > b.Overhead*(1+tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: overhead %.2fx vs baseline %.2fx (+%.0f%%, tolerance %.0f%%)",
+					e.Name, e.Overhead, b.Overhead,
+					(e.Overhead/b.Overhead-1)*100, tolerance*100))
+		}
+	}
+	return regressions
 }

@@ -88,7 +88,23 @@ type TimeRow struct {
 	T64       time.Duration // scaled estimate at 64 processors
 	Overhead  float64       // T1 / Tseq
 	Speedup64 float64       // Tseq / T64
+
+	// T4-style entanglement cost metrics of the T1 run, carried into the
+	// bench JSON so the perf trajectory tracks slow-path costs, not just
+	// wall-clock.
+	EntReads        int64 // entangled reads
+	Pins            int64 // objects newly pinned
+	PinnedPeakBytes int64 // high-water mark of pinned bytes
 }
+
+// timeReps is how many times TimeTable measures each configuration,
+// keeping the fastest run. The overhead column is a ratio of two
+// wall-clock timings; a single sample of each is at the mercy of scheduler
+// and machine noise (the concurrency-heavy benchmarks swing ±30% run to
+// run), which made the JSON report useless as a regression gate. The
+// minimum is the standard noise-robust statistic for benchmarks: outside
+// interference only ever adds time.
+const timeReps = 15
 
 // TimeTable reproduces the paper's time table (T1): sequential baseline,
 // single-processor overhead, and 64-processor speedup for the full suite.
@@ -100,13 +116,27 @@ func TimeTable(sizes map[string]int, w io.Writer) []TimeRow {
 	for _, b := range bench.All {
 		n := size(b, sizes)
 		_, tseq, _ := runGlobal(b, n)
+		for r := 1; r < timeReps; r++ {
+			if _, t, _ := runGlobal(b, n); t < tseq {
+				tseq = t
+			}
+		}
 		_, t1, rt := runMPL(b, n, mpl.Config{Procs: 1, Record: true})
+		for r := 1; r < timeReps; r++ {
+			if _, t, rt2 := runMPL(b, n, mpl.Config{Procs: 1, Record: true}); t < t1 {
+				t1, rt = t, rt2
+			}
+		}
 		t64 := scale(t1, rt.Trace(), MaxP)
+		es := rt.EntStats()
 		row := TimeRow{
 			Name: b.Name, Entangled: b.Entangled,
 			Tseq: tseq, T1: t1, T64: t64,
-			Overhead:  ratio(t1, tseq),
-			Speedup64: ratio(tseq, t64),
+			Overhead:        ratio(t1, tseq),
+			Speedup64:       ratio(tseq, t64),
+			EntReads:        es.EntangledReads,
+			Pins:            es.Pins,
+			PinnedPeakBytes: es.PinnedPeakBytes,
 		}
 		rows = append(rows, row)
 		fmt.Fprintf(w, "%-10s %5v %10s %10s %10s %8.2fx %8.2fx\n",
