@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+// Two injectors with the same seed must make identical decision sequences
+// per point when consulted serially.
+func TestDeterministicSequence(t *testing.T) {
+	a := New(42, Soak())
+	b := New(42, Soak())
+	for _, p := range Points() {
+		for i := 0; i < 4096; i++ {
+			if a.Should(p) != b.Should(p) {
+				t.Fatalf("point %v diverged at hit %d", p, i)
+			}
+		}
+	}
+}
+
+// Different seeds should produce different fault sequences (with
+// overwhelming probability over 4096 draws at rate 1/2).
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1, Soak())
+	b := New(2, Soak())
+	same := 0
+	for i := 0; i < 4096; i++ {
+		if a.Should(HeaderCAS) == b.Should(HeaderCAS) {
+			same++
+		}
+	}
+	if same == 4096 {
+		t.Fatal("seeds 1 and 2 produced identical HeaderCAS sequences")
+	}
+}
+
+// The injected multiset per point must be independent of interleaving:
+// concurrent consultation with a fixed seed yields the same per-point
+// injection total as serial consultation.
+func TestConcurrentTotalsMatchSerial(t *testing.T) {
+	const perG, gs = 1024, 8
+	serial := New(7, Soak())
+	for i := 0; i < perG*gs; i++ {
+		serial.Should(GCTrigger)
+	}
+	conc := New(7, Soak())
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				conc.Should(GCTrigger)
+			}
+		}()
+	}
+	wg.Wait()
+	if serial.Injected(GCTrigger) != conc.Injected(GCTrigger) {
+		t.Fatalf("serial injected %d, concurrent injected %d",
+			serial.Injected(GCTrigger), conc.Injected(GCTrigger))
+	}
+}
+
+// A nil injector must be inert and safe at every site.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	for _, p := range Points() {
+		if in.Should(p) {
+			t.Fatalf("nil injector fired at %v", p)
+		}
+		if in.Spin(p) != 0 || in.Injected(p) != 0 || in.Hits(p) != 0 {
+			t.Fatalf("nil injector reported state at %v", p)
+		}
+	}
+	if in.Report() != "chaos: off" {
+		t.Fatalf("nil report = %q", in.Report())
+	}
+}
+
+// Rates of retry-loop points must be clamped below certainty.
+func TestRetryClamp(t *testing.T) {
+	in := New(3, Options{HeaderCAS: 1024, GateAcquire: 1024})
+	missed := false
+	for i := 0; i < 4096; i++ {
+		if !in.Should(HeaderCAS) {
+			missed = true
+		}
+	}
+	if !missed {
+		t.Fatal("HeaderCAS at max rate never declined; retry loops would livelock")
+	}
+}
+
+func TestRates(t *testing.T) {
+	in := New(9, Options{GCTrigger: 512})
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		in.Should(GCTrigger)
+	}
+	got := float64(in.Injected(GCTrigger)) / n
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("rate 512/1024 injected fraction %.3f, want ~0.5", got)
+	}
+	if in.Should(StealDecision) {
+		t.Fatal("zero-rate point fired")
+	}
+}

@@ -8,9 +8,17 @@ import "mplgo/internal/mem"
 // references the caller holds must be in Frames.
 
 // guardedGC runs a pending collection while keeping vs updated as roots.
-// It returns the (possibly relocated) values.
+// It returns the (possibly relocated) values. It is also the backpressure
+// point: residency above Config.MaxHeapWords forces a collection, and if
+// the forced collection cannot get back under the limit the computation is
+// cancelled with ErrHeapLimit. After cancellation it does nothing — the
+// unwind must not relocate objects.
 func (t *Task) guardedGC(vs []mem.Value) {
-	if t.rt.cfg.DisableGC || t.sinceGC < t.rt.cfg.HeapBudgetWords {
+	if t.rt.cancelled.Load() {
+		return
+	}
+	over := t.overHeapLimit()
+	if !over && !t.needGC() {
 		return
 	}
 	f := t.NewFrame(len(vs))
@@ -22,6 +30,16 @@ func (t *Task) guardedGC(vs []mem.Value) {
 		vs[i] = f.Get(i)
 	}
 	f.Pop()
+	if over && t.overHeapLimit() {
+		t.rt.cancelWith(ErrHeapLimit)
+	}
+}
+
+// overHeapLimit reports whether total residency exceeds the configured
+// backpressure limit.
+func (t *Task) overHeapLimit() bool {
+	lim := t.rt.cfg.MaxHeapWords
+	return lim > 0 && t.rt.space.LiveWords() > lim
 }
 
 func (t *Task) bumpAlloc(words int64) {
@@ -107,6 +125,13 @@ func (t *Task) Read(o mem.Ref, i int) mem.Value {
 	}
 	v, slow := t.rt.space.LoadChecked(o, i)
 	if slow {
+		if t.rt.cancelled.Load() {
+			// Cancellation point: the computation is unwinding and no
+			// further collections run (guardedGC is disabled), so objects
+			// no longer move — skip the pin protocol and hand back the
+			// loaded value. Results after cancellation are discarded.
+			return v
+		}
 		nv, err := t.rt.ent.OnRead(t.heap, o, i, v)
 		if err != nil {
 			t.rt.fail(err)

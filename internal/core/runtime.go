@@ -16,8 +16,13 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
+	"mplgo/internal/chaos"
 	"mplgo/internal/entangle"
 	"mplgo/internal/gc"
 	"mplgo/internal/hierarchy"
@@ -25,6 +30,33 @@ import (
 	"mplgo/internal/sched"
 	"mplgo/internal/sim"
 )
+
+// ErrCancelled is returned by Run when the computation was aborted via
+// Runtime.Cancel before completing.
+var ErrCancelled = errors.New("core: computation cancelled")
+
+// ErrHeapLimit is returned by Run when Config.MaxHeapWords was exceeded
+// and a forced local collection could not bring residency back under it.
+var ErrHeapLimit = errors.New("core: heap limit exceeded")
+
+// PanicError wraps a panic recovered from a task branch. Run returns it
+// instead of letting the panic kill a worker goroutine (which used to hang
+// the pool). Unwrap exposes panics whose value was itself an error — the
+// typed resource-exhaustion panics (mem.ErrChunkTableExhausted,
+// order.ErrLabelSpaceExhausted) surface through errors.Is this way.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // the panicking goroutine's stack at recovery
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("core: panic in task: %v", e.Value) }
+
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Abstract cost constants for the simulator's work accounting.
 const (
@@ -54,6 +86,18 @@ type Config struct {
 	Record bool
 	// Seed makes scheduling decisions reproducible.
 	Seed int64
+	// MaxHeapWords, when positive, is a backpressure limit on total
+	// simulated residency: an allocation that finds LiveWords above it
+	// forces a local collection, and if residency is still above the
+	// limit afterwards the computation is cancelled with ErrHeapLimit
+	// instead of growing without bound.
+	MaxHeapWords int64
+	// Chaos, when non-nil, enables the deterministic fault-injection
+	// layer (package chaos), seeded from Seed: forced collections,
+	// widened steal windows, spurious gate contention and refused header
+	// CASes, plus invariant audits at joins, collection ends, and the end
+	// of Run. For testing only — never set in timing runs.
+	Chaos *chaos.Options
 }
 
 func (c *Config) fill() {
@@ -75,6 +119,15 @@ type Runtime struct {
 	col   *gc.Collector
 	pool  *sched.Pool
 	trace *sim.Node
+	chaos *chaos.Injector
+
+	// cancelled is the runtime-wide cooperative cancellation flag, set by
+	// Cancel, by a recovered branch panic, and by unrecoverable resource
+	// exhaustion. Tasks poll it at forks, allocation slow paths, and the
+	// read-barrier slow path; once set, Par stops forking, ParFor returns,
+	// and no further collections run, so the computation unwinds quickly
+	// and Run returns the first recorded error.
+	cancelled atomic.Bool
 
 	errMu sync.Mutex
 	err   error
@@ -87,6 +140,16 @@ func New(cfg Config) *Runtime {
 	r.ent = entangle.New(r.space, r.tree, cfg.Mode)
 	r.col = gc.New(r.space, r.tree)
 	r.pool = sched.NewPool(cfg.Procs, cfg.Seed)
+	// Safety net under the per-branch recovery in Task.Par: a panic that
+	// escapes a branch's own guard (e.g. from the join bookkeeping itself)
+	// is still converted to an error and the pool still drains.
+	r.pool.OnPanic = func(v any) { r.cancelWith(recoveredError(v)) }
+	if cfg.Chaos != nil {
+		r.chaos = chaos.New(cfg.Seed, *cfg.Chaos)
+		r.space.Chaos = r.chaos
+		r.tree.SetChaos(r.chaos)
+		r.pool.Chaos = r.chaos
+	}
 	if cfg.Record {
 		r.trace = sim.NewTrace()
 	}
@@ -97,15 +160,79 @@ func New(cfg Config) *Runtime {
 // is in Detect mode and the program entangled, the first entanglement error
 // is returned (the paper's baseline MPL would abort here; we complete the
 // run safely and surface the error).
+//
+// A panic in f or in any Par branch does not crash the process or hang the
+// pool: it is recovered, converted to a *PanicError, and returned here with
+// every worker drained and the heap hierarchy consistent. Likewise Cancel
+// and resource exhaustion surface as ErrCancelled / ErrHeapLimit /
+// the wrapped typed exhaustion errors.
 func (r *Runtime) Run(f func(*Task) mem.Value) (mem.Value, error) {
 	var out mem.Value
 	r.pool.Run(func(w *sched.Worker) {
 		t := r.newTask(w, r.tree.Root(), r.trace)
+		defer t.finish()
+		defer r.guard()
 		out = f(t)
-		t.finish()
 	})
+	if r.chaos != nil {
+		// The pool has drained: the computation is quiescent, so the
+		// strict audit (gates drained, pins balanced, no reachable
+		// forwarding headers) must hold even after injected faults,
+		// panics, or cancellation.
+		if err := gc.CheckInvariants(r.space, r.tree, true); err != nil {
+			r.fail(err)
+		}
+	}
 	return out, r.Err()
 }
+
+// Cancel aborts the computation cooperatively: tasks observe the flag at
+// forks, allocation slow paths and barrier slow paths, stop forking, and
+// unwind. Run returns ErrCancelled (or an earlier recorded error). Safe to
+// call from any goroutine, including outside the pool.
+func (r *Runtime) Cancel() { r.cancelWith(ErrCancelled) }
+
+// Cancelled reports whether the runtime's cancellation flag is set.
+func (r *Runtime) Cancelled() bool { return r.cancelled.Load() }
+
+// cancelWith records err (first error wins) and raises the cancellation
+// flag.
+func (r *Runtime) cancelWith(err error) {
+	r.fail(err)
+	r.cancelled.Store(true)
+}
+
+// guard is deferred around task branch bodies: it converts a panic into a
+// recorded error plus runtime-wide cancellation, so the sibling branch
+// unwinds cooperatively and the join's merge bookkeeping (deferred after
+// guard) still runs, keeping the hierarchy consistent.
+func (r *Runtime) guard() {
+	if v := recover(); v != nil {
+		r.cancelWith(recoveredError(v))
+	}
+}
+
+// recoveredError converts a recovered panic value into the error Run
+// reports.
+func recoveredError(v any) error {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// CheckInvariants runs the strict (quiescent-point) invariant audit over
+// the whole heap hierarchy: gate reader counts zero, per-chunk pin
+// accounting balanced, headers parseable, remembered entries well-formed,
+// and no live path reaching a forwarding header. Call it only when no
+// computation is running (e.g. after Run returns).
+func (r *Runtime) CheckInvariants() error {
+	return gc.CheckInvariants(r.space, r.tree, true)
+}
+
+// ChaosReport renders per-point injection totals ("chaos: off" when the
+// fault-injection layer is disabled), for failure dumps.
+func (r *Runtime) ChaosReport() string { return r.chaos.Report() }
 
 // Err returns the first entanglement error recorded (Detect mode).
 func (r *Runtime) Err() error {
@@ -136,7 +263,7 @@ func (r *Runtime) EntStats() entangle.StatsSnapshot { return r.ent.Stats.Snapsho
 
 // GCStats reports collection totals.
 func (r *Runtime) GCStats() (collections, copiedWords, reclaimedWords int64) {
-	return r.col.Collections, r.col.CopiedWords, r.col.ReclaimedWords
+	return r.col.Collections.Load(), r.col.CopiedWords.Load(), r.col.ReclaimedWords.Load()
 }
 
 // Trace returns the recorded DAG, or nil if recording was off.

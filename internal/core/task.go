@@ -1,6 +1,7 @@
 package core
 
 import (
+	"mplgo/internal/chaos"
 	"mplgo/internal/entangle"
 	"mplgo/internal/gc"
 	"mplgo/internal/hierarchy"
@@ -22,8 +23,23 @@ type Task struct {
 	w     *sched.Worker
 	heap  *hierarchy.Heap
 	alloc *mem.Allocator
-	slots []mem.Value // shadow stack; visited by collections as roots
-	node  *sim.Node   // current recording segment (nil when not recording)
+	node  *sim.Node // current recording segment (nil when not recording)
+
+	// frames is the shadow stack: one independently-allocated slab per
+	// Frame, visited by collections as roots. Slabs are deliberately NOT
+	// windows into one contiguous slice: a Frame captured by a Par branch
+	// closure may be read from a stolen strand while this task's own strand
+	// keeps pushing frames, and a shared backing array would make every
+	// such read race with append's reallocation. The spine itself is
+	// owner-only (push/pop/roots all run on the owning strand).
+	frames [][]mem.Value
+
+	// spare recycles popped slabs: recursion pushes same-sized frames over
+	// and over, and a popped slab is unreachable by other strands (its
+	// frame's forks have joined), so reuse is safe and keeps NewFrame off
+	// the Go allocator. Slabs discarded by runInline's panic cleanup are
+	// NOT recycled — a cancelled strand may still be draining.
+	spare [][]mem.Value
 
 	// workAcc batches abstract work units task-locally. The access fast
 	// paths bump this plain field instead of dereferencing the recording
@@ -67,8 +83,10 @@ func (t *Task) syncChunks() {
 
 // Roots implements hierarchy.RootSet over the shadow stack.
 func (t *Task) Roots(visit func(*mem.Value)) {
-	for i := range t.slots {
-		visit(&t.slots[i])
+	for _, slab := range t.frames {
+		for i := range slab {
+			visit(&slab[i])
+		}
 	}
 }
 
@@ -94,14 +112,29 @@ func (t *Task) Runtime() *Runtime { return t.rt }
 // Depth returns the task's heap depth.
 func (t *Task) Depth() int { return t.heap.Depth() }
 
+// needGC reports whether the allocation slow path should collect: the
+// budget is spent, or the chaos layer forces a collection at this
+// allocation. Never after cancellation — the unwind must not move objects
+// out from under strands that skipped their pins.
+func (t *Task) needGC() bool {
+	if t.rt.cfg.DisableGC || t.rt.cancelled.Load() {
+		return false
+	}
+	if t.sinceGC >= t.rt.cfg.HeapBudgetWords {
+		return true
+	}
+	// Explicit nil check before the call: Should is nil-safe but too big to
+	// inline, and this runs on every allocation.
+	return t.rt.chaos != nil && t.rt.chaos.Should(chaos.GCTrigger)
+}
+
 // maybeGC collects the task's exclusive heap suffix if the allocation
 // budget is spent. Must be called before—never after—allocating the object
 // the caller is about to hand out.
 func (t *Task) maybeGC() {
-	if t.rt.cfg.DisableGC || t.sinceGC < t.rt.cfg.HeapBudgetWords {
-		return
+	if t.needGC() {
+		t.collectNow()
 	}
-	t.collectNow()
 }
 
 // collectNow unconditionally attempts a local collection of the task's own
@@ -127,15 +160,33 @@ func (t *Task) collectNow() {
 	t.alloc.Retarget(t.heap.ID)
 	t.Work(res.CopiedWords * costGCWord)
 	t.sinceGC = 0
+	if ch := t.rt.chaos; ch != nil && ch.Should(chaos.JoinCheck) {
+		// Collection-end audit (relaxed: owner-owned structures only).
+		if err := gc.CheckHeap(t.rt.space, t.heap, false); err != nil {
+			t.rt.cancelWith(err)
+		}
+	}
 }
 
 // Par evaluates f and g in parallel and returns both results. Child heaps
 // are created under the task's heap (at every fork by default, at steals in
 // lazy mode) and merged back at the join.
 //
+// Par is panic-safe: a panic in either branch is recovered, recorded as the
+// runtime's error (see PanicError) and raised as cooperative cancellation,
+// which the sibling observes at its own forks and allocation slow paths.
+// The join still runs every merge and unpin step, so the heap hierarchy
+// stays consistent while the computation unwinds; Run returns the error.
+// Par is also a cancellation point: once the runtime is cancelled it skips
+// both branches and returns (Nil, Nil) immediately, so deep fork trees
+// unwind without doing further work.
+//
 // The returned values are safe to use until the task's next allocation;
 // register references in a Frame before allocating.
 func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
+	if t.rt.cancelled.Load() {
+		return mem.Nil, mem.Nil
+	}
 	t.syncChunks()
 	t.flushWork()
 	var lnode, rnode, anode *sim.Node
@@ -152,18 +203,19 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 		t.w.ForkJoin(
 			func(w *sched.Worker) {
 				t.node = lnode
-				lv = f(t)
+				lv = t.runInline(f)
 				t.flushWork() // attribute f's work to lnode before the node changes
 			},
 			func(w *sched.Worker, stolen bool) {
 				if stolen {
 					rheap = t.rt.tree.Fork(t.heap)
 					gt := t.rt.newTask(w, rheap, rnode)
+					defer gt.finish()
+					defer t.rt.guard()
 					rv = g(gt)
-					gt.finish()
 				} else {
 					t.node = rnode
-					rv = g(t)
+					rv = t.runInline(g)
 					t.flushWork()
 				}
 			},
@@ -179,13 +231,15 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 		t.w.ForkJoin(
 			func(w *sched.Worker) {
 				lt := t.rt.newTask(w, lheap, lnode)
+				defer lt.finish()
+				defer t.rt.guard()
 				lv = f(lt)
-				lt.finish()
 			},
 			func(w *sched.Worker, stolen bool) {
 				gt := t.rt.newTask(w, rheap, rnode)
+				defer gt.finish()
+				defer t.rt.guard()
 				rv = g(gt)
-				gt.finish()
 			},
 		)
 		t.rt.ent.OnJoin(lheap, t.heap)
@@ -194,12 +248,38 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 	if anode != nil {
 		t.node = anode
 	}
+	if ch := t.rt.chaos; ch != nil && ch.Should(chaos.JoinCheck) {
+		// Join audit (relaxed): the merged parent heap, owned by this
+		// strand, must parse end to end with a well-formed remembered set.
+		t.syncChunks()
+		if err := gc.CheckHeap(t.rt.space, t.heap, false); err != nil {
+			t.rt.cancelWith(err)
+		}
+	}
 	return lv, rv
+}
+
+// runInline runs a branch body on this task (lazy mode, branch not
+// stolen), recovering panics like any branch: the error is recorded, the
+// runtime cancelled, and any shadow-stack frames the body left unpopped
+// are discarded so the suspended ancestors' frames stay addressable.
+func (t *Task) runInline(f func(*Task) mem.Value) (v mem.Value) {
+	nframes := len(t.frames)
+	defer func() {
+		if len(t.frames) > nframes {
+			t.frames = t.frames[:nframes]
+		}
+	}()
+	defer t.rt.guard()
+	return f(t)
 }
 
 // ParFor runs body over [lo, hi) in parallel, splitting ranges in half
 // until they are at most grain wide.
 func (t *Task) ParFor(lo, hi, grain int, body func(t *Task, lo, hi int)) {
+	if t.rt.cancelled.Load() {
+		return // cancellation point: skip remaining range while unwinding
+	}
 	if grain < 1 {
 		grain = 1
 	}
@@ -214,44 +294,66 @@ func (t *Task) ParFor(lo, hi, grain int, body func(t *Task, lo, hi int)) {
 	)
 }
 
-// Frame is a window of the task's shadow stack: the values placed in a
+// Frame is one slab of the task's shadow stack: the values placed in a
 // frame are GC roots and are updated in place when collections move
-// objects. Frames are strictly LIFO.
+// objects. Frames are strictly LIFO. A frame's slots live in their own
+// allocation (see Task.frames), so a Frame captured by a branch closure
+// stays readable from a concurrently-running stolen strand — its slab
+// pointer never moves, and collections of the frame's heap cannot run
+// while any such strand (a live child of the frame's task) exists.
+// Frame is four words (a slice plus the task pointer) on purpose: the
+// benchmark bodies call Get/Set/Ref through a generic frame type
+// parameter, and a receiver this size still travels in registers; one
+// more field pushes every such call into a stack spill.
 type Frame struct {
+	slab []mem.Value
 	t    *Task
-	base int
-	n    int
 }
 
 // NewFrame pushes a frame of n root slots (initialized to Nil).
 func (t *Task) NewFrame(n int) Frame {
-	base := len(t.slots)
-	for i := 0; i < n; i++ {
-		t.slots = append(t.slots, mem.Nil)
+	var slab []mem.Value
+	if k := len(t.spare) - 1; k >= 0 && cap(t.spare[k]) >= n {
+		slab = t.spare[k][:n]
+		t.spare = t.spare[:k]
+		for i := range slab {
+			slab[i] = mem.Nil
+		}
+	} else {
+		slab = make([]mem.Value, n)
 	}
-	return Frame{t: t, base: base, n: n}
+	t.frames = append(t.frames, slab)
+	return Frame{slab: slab, t: t}
 }
 
 // Set stores v in slot i.
 func (f Frame) Set(i int, v mem.Value) {
-	if i < 0 || i >= f.n {
-		panic("core: frame index out of range")
-	}
-	f.t.slots[f.base+i] = v
+	f.slab[i] = v
 }
 
 // Get returns the current value of slot i (updated by collections).
-func (f Frame) Get(i int) mem.Value { return f.t.slots[f.base+i] }
+func (f Frame) Get(i int) mem.Value { return f.slab[i] }
 
 // Ref returns slot i as a reference.
-func (f Frame) Ref(i int) mem.Ref { return f.Get(i).Ref() }
+func (f Frame) Ref(i int) mem.Ref { return f.slab[i].Ref() }
 
-// Pop releases the frame. Frames must be popped in LIFO order.
+// Pop releases the frame. Frames must be popped in LIFO order; the check
+// is by slab identity against the top of the shadow stack.
 func (f Frame) Pop() {
-	if len(f.t.slots) != f.base+f.n {
+	k := len(f.t.frames) - 1
+	if k < 0 || !sameSlab(f.t.frames[k], f.slab) {
 		panic("core: non-LIFO frame pop")
 	}
-	f.t.slots = f.t.slots[:f.base]
+	f.t.frames = f.t.frames[:k]
+	f.t.spare = append(f.t.spare, f.slab)
+}
+
+// sameSlab reports whether two slabs are the same allocation. Empty slabs
+// share the runtime's zero base, so length alone identifies them; that is
+// fine — popping one empty frame for another of the same (zero) size
+// releases no roots.
+func sameSlab(a, b []mem.Value) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // ValidateHeaps traces the live object graph from every live heap's roots

@@ -246,7 +246,7 @@ func (m *Manager) OnWrite(leaf *hierarchy.Heap, o mem.Ref, i int, x mem.Ref) err
 // the holder's heap (an intra-heap pointer needs no remembering).
 func (m *Manager) publishRemembered(oh, xh *hierarchy.Heap, o mem.Ref, i int, x mem.Ref) {
 	for {
-		if xh == nil || xh.Dead || xh == oh {
+		if xh == nil || xh.Dead() || xh == oh {
 			if xh == oh {
 				return
 			}
@@ -279,7 +279,7 @@ func (m *Manager) OnRead(leaf *hierarchy.Heap, o mem.Ref, i int, v mem.Value) (m
 	for {
 		x := v.Ref()
 		xh := m.heapOf(x)
-		if xh == nil || xh.Dead {
+		if xh == nil || xh.Dead() {
 			// Stale ownership: the chunk was released, or its heap merged
 			// away, between the caller's load and our lookup. The
 			// collection that did it has already updated the field (and a
@@ -374,7 +374,7 @@ func (m *Manager) OnRead(leaf *hierarchy.Heap, o mem.Ref, i int, v mem.Value) (m
 func (m *Manager) pinEntangled(x mem.Ref, unpin int) {
 	for {
 		xh := m.heapOf(x)
-		if xh == nil || xh.Dead {
+		if xh == nil || xh.Dead() {
 			runtime.Gosched()
 			continue // merge in flight; ownership re-resolves to the live heap
 		}

@@ -27,6 +27,10 @@
 package gc
 
 import (
+	"runtime"
+	"sync/atomic"
+
+	"mplgo/internal/chaos"
 	"mplgo/internal/hierarchy"
 	"mplgo/internal/mem"
 )
@@ -46,10 +50,11 @@ type Collector struct {
 	Space *mem.Space
 	Tree  *hierarchy.Tree
 
-	// Totals across all collections.
-	Collections    int64
-	CopiedWords    int64
-	ReclaimedWords int64
+	// Totals across all collections. Atomic: distinct tasks collect their
+	// own heaps concurrently (with chaos-forced triggers, often).
+	Collections    atomic.Int64
+	CopiedWords    atomic.Int64
+	ReclaimedWords atomic.Int64
 }
 
 // New creates a collector.
@@ -143,9 +148,9 @@ func (c *Collector) Collect(scope []*hierarchy.Heap) Result {
 	}
 	r.res.ReclaimedWords = oldWords - retainedOldWords
 	scope[0].CopiedWords += r.res.CopiedWords
-	c.Collections++
-	c.CopiedWords += r.res.CopiedWords
-	c.ReclaimedWords += r.res.ReclaimedWords
+	c.Collections.Add(1)
+	c.CopiedWords.Add(r.res.CopiedWords)
+	c.ReclaimedWords.Add(r.res.ReclaimedWords)
 	return r.res
 }
 
@@ -252,6 +257,13 @@ func (r *run) forward(v mem.Value) mem.Value {
 			// BUSY is unreachable: this collector is the only copier of
 			// its scope and completes each claim before the next.
 			panic("gc: BeginCopy refused a plain header")
+		}
+	}
+	if ch := r.c.Space.Chaos; ch != nil && ch.Should(chaos.BusyWindow) {
+		// Stretch the transient BUSY window so concurrent pinners dwell in
+		// their PinBusy back-off/retry loops.
+		for i := ch.Spin(chaos.BusyWindow); i > 0; i-- {
+			runtime.Gosched()
 		}
 	}
 	// Copy to the object's own heap's to-space, preserving heap membership

@@ -1,0 +1,130 @@
+package gc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mplgo/internal/hierarchy"
+	"mplgo/internal/mem"
+)
+
+// The chaos layer's invariant checker. Two strengths:
+//
+//   - CheckHeap(h, strict=false) is the relaxed, owner-callable audit run
+//     at joins while the rest of the computation is still running: it
+//     sweeps only structures the calling strand owns (the heap's chunk
+//     list, its owner-only remembered set) using atomic header loads, so
+//     it is race-free against concurrent entanglement pins. It verifies
+//     every allocated header parses (valid bit, known kind, length within
+//     chunk) and every remembered entry is well-formed.
+//
+//   - CheckInvariants(strict=true) is the quiescent audit run at the end
+//     of a computation (and callable from tests): everything above, plus
+//     gate quiescence (reader count zero, collecting bit clear), pin
+//     accounting (each chunk's PinCount equals the pinned headers it
+//     holds), no transient BUSY or mark bits outside a collection, and —
+//     via Validate — that no live path reaches a stale forwarding header.
+//
+// Sweeps are possible because chunks are bump-allocated densely: objects
+// occupy [off, off+1+max(1,len)) back to back from offset 0 to c.Alloc,
+// and forwarding headers preserve the length, so a linear walk never loses
+// framing.
+
+// CheckHeap audits one heap. strict additionally enforces the quiescent
+// invariants (gate drained, pin counts balanced, no transient bits).
+func CheckHeap(sp *mem.Space, h *hierarchy.Heap, strict bool) error {
+	if strict {
+		if n := h.Gate.Readers(); n != 0 {
+			return fmt.Errorf("gc: heap %d gate holds %d readers at a quiescent point", h.ID, n)
+		}
+		if h.Gate.Collecting() {
+			return fmt.Errorf("gc: heap %d gate marked collecting at a quiescent point", h.ID)
+		}
+	}
+	for _, c := range h.Chunks {
+		pinned := int32(0)
+		off := 0
+		for off < c.Alloc {
+			hd := mem.Header(atomic.LoadUint64(&c.Data[off]))
+			if !hd.Valid() {
+				return fmt.Errorf("gc: heap %d chunk %d: invalid header %#x at +%d", h.ID, c.ID, uint64(hd), off)
+			}
+			if hd.Kind() > mem.KRaw {
+				return fmt.Errorf("gc: heap %d chunk %d: unknown kind %d at +%d", h.ID, c.ID, hd.Kind(), off)
+			}
+			n := hd.Len()
+			if n < 1 {
+				n = 1
+			}
+			if off+1+n > c.Alloc {
+				return fmt.Errorf("gc: heap %d chunk %d: object at +%d (len %d) overruns bump offset %d", h.ID, c.ID, off, hd.Len(), c.Alloc)
+			}
+			if hd.Pinned() {
+				pinned++
+			}
+			if strict {
+				if hd.Busy() {
+					return fmt.Errorf("gc: heap %d chunk %d: BUSY header at +%d outside a collection", h.ID, c.ID, off)
+				}
+				if hd.Marked() {
+					return fmt.Errorf("gc: heap %d chunk %d: mark bit left set at +%d", h.ID, c.ID, off)
+				}
+			}
+			off += 1 + n
+		}
+		if strict {
+			if pc := atomic.LoadInt32(&c.PinCount); pc != pinned {
+				return fmt.Errorf("gc: heap %d chunk %d: PinCount %d but %d pinned headers swept", h.ID, c.ID, pc, pinned)
+			}
+		}
+	}
+	for k, e := range h.Remset {
+		if err := checkRemembered(sp, e); err != nil {
+			return fmt.Errorf("gc: heap %d remset[%d]: %w", h.ID, k, err)
+		}
+	}
+	return nil
+}
+
+// checkRemembered verifies one remembered entry is well-formed: the holder
+// resolves to a live chunk, its header parses, and the recorded index is
+// inside the holder's payload. Entries may be stale (the field was
+// overwritten) — that is legal; a holder that no longer parses is not.
+func checkRemembered(sp *mem.Space, e hierarchy.RememberedEntry) error {
+	c := sp.ChunkByID(e.Holder.Chunk())
+	if c == nil || c.HeapID() == 0 {
+		return fmt.Errorf("holder %v points into a released chunk", e.Holder)
+	}
+	hd := sp.Header(e.Holder)
+	if !hd.Valid() || hd.Kind() > mem.KRaw {
+		return fmt.Errorf("holder %v has unparseable header %#x", e.Holder, uint64(hd))
+	}
+	if hd.Kind() == mem.KForward {
+		return fmt.Errorf("holder %v is a stale forwarding header", e.Holder)
+	}
+	n := hd.Len()
+	if n < 1 {
+		n = 1
+	}
+	if e.Index < 0 || e.Index >= n {
+		return fmt.Errorf("index %d outside holder %v payload (len %d)", e.Index, e.Holder, hd.Len())
+	}
+	return nil
+}
+
+// CheckInvariants audits every live heap of the tree. strict (quiescent
+// points only) adds gate, pin-accounting and transient-bit checks per heap
+// plus the reachability audit of Validate, which rejects any live path to
+// a forwarding header.
+func CheckInvariants(sp *mem.Space, tree *hierarchy.Tree, strict bool) error {
+	live := tree.Live()
+	for _, h := range live {
+		if err := CheckHeap(sp, h, strict); err != nil {
+			return err
+		}
+	}
+	if strict {
+		return Validate(sp, live)
+	}
+	return nil
+}

@@ -3,6 +3,8 @@ package hierarchy
 import (
 	"runtime"
 	"sync/atomic"
+
+	"mplgo/internal/chaos"
 )
 
 // Gate is the per-heap collection gate that replaced Heap.Mu: a seqlock-
@@ -24,6 +26,12 @@ import (
 // — against in-flight pins.
 type Gate struct {
 	state atomic.Uint64
+
+	// Chaos, when set, injects spurious contention at EnterReader
+	// (chaos.GateAcquire): the reader backs off once as if a collection
+	// were underway, exercising the undo-and-reenter path that real runs
+	// take only when a collection races the entanglement slow path.
+	Chaos *chaos.Injector
 }
 
 const (
@@ -38,9 +46,18 @@ const (
 // gate (until ExitReader), the heap's chunks cannot change ownership and
 // its objects cannot be relocated or reclaimed.
 func (g *Gate) EnterReader() {
+	spurious := g.Chaos != nil && g.Chaos.Should(chaos.GateAcquire)
 	for {
 		s := g.state.Add(gateReader)
 		if s&gateCollecting == 0 {
+			if spurious {
+				// Injected contention: undo the announcement, yield, and
+				// re-enter, exactly as if a collection had flashed by.
+				spurious = false
+				g.state.Add(^(gateReader - 1))
+				runtime.Gosched()
+				continue
+			}
 			return
 		}
 		// A collection is underway: undo the announcement and wait for the
@@ -94,6 +111,10 @@ func (g *Gate) EndCollect() {
 
 // Epoch returns the number of completed collections/merges of this heap.
 func (g *Gate) Epoch() uint64 { return g.state.Load() >> 32 }
+
+// Readers returns the number of announced readers currently inside the
+// gate. Used by the invariant checker: at quiescent points it must be zero.
+func (g *Gate) Readers() int { return int((g.state.Load() & gateReaderMask) >> 2) }
 
 // Collecting reports whether the heap is currently being relocated.
 func (g *Gate) Collecting() bool { return g.state.Load()&gateCollecting != 0 }

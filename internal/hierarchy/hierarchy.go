@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mplgo/internal/chaos"
 	"mplgo/internal/mem"
 	"mplgo/internal/order"
 )
@@ -140,8 +141,10 @@ type Heap struct {
 	// collected while any are outstanding.
 	PendingForks atomic.Int32
 
-	// Dead marks heaps that merged into their parent.
-	Dead bool
+	// Dead marks heaps that merged into their parent. Atomic: set by the
+	// joining strand in Merge while entanglement slow paths of concurrent
+	// strands snapshot it (they tolerate staleness with a retry loop).
+	dead atomic.Bool
 
 	// Stats
 	Collections int   // local collections rooted at this heap
@@ -190,6 +193,11 @@ func (h *Heap) AddRememberedLocal(holder mem.Ref, index int) {
 // guarantees the entry is visible to the next collection's DrainBuffers.
 func (h *Heap) AddPinned(r mem.Ref) { h.pinBuf.push(r) }
 
+// Dead reports whether the heap has merged into its parent. Concurrent
+// readers see a snapshot: a heap observed live can die immediately after,
+// and callers revalidate (ownership checks, pin CAS) accordingly.
+func (h *Heap) Dead() bool { return h.dead.Load() }
+
 // DrainBuffers folds the lock-free publication buffers into the owner-only
 // Pinned and Remset views. Called by the owning task, normally right after
 // Gate.BeginCollect (collection or merge start), when no reader can be
@@ -229,6 +237,11 @@ type Tree struct {
 	// UseWalkAncestor switches ancestor queries to naive parent walking,
 	// for the AblateAncestor experiment.
 	UseWalkAncestor bool
+
+	// chaos, when set via SetChaos, is propagated into every heap's gate
+	// so the GateAcquire injection point fires on the entanglement slow
+	// paths of all heaps, including ones forked later.
+	chaos *chaos.Injector
 }
 
 // New creates a hierarchy containing only the root heap.
@@ -266,6 +279,20 @@ func (t *Tree) put(h *Heap) {
 	blk[h.ID&(heapBlockSize-1)].Store(h)
 }
 
+// SetChaos installs a fault injector on the tree and on the gates of every
+// existing heap. Call before the computation starts; heaps forked later
+// inherit the injector.
+func (t *Tree) SetChaos(in *chaos.Injector) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.chaos = in
+	for id := uint32(1); id < t.nextID; id++ {
+		if h := t.Get(id); h != nil {
+			h.Gate.Chaos = in
+		}
+	}
+}
+
 // Root returns the root heap.
 func (t *Tree) Root() *Heap { return t.root }
 
@@ -298,7 +325,7 @@ func (t *Tree) Live() []*Heap {
 	t.mu.Unlock()
 	var out []*Heap
 	for id := uint32(1); id < n; id++ {
-		if h := t.Get(id); h != nil && !h.Dead {
+		if h := t.Get(id); h != nil && !h.Dead() {
 			out = append(out, h)
 		}
 	}
@@ -308,18 +335,23 @@ func (t *Tree) Live() []*Heap {
 // Fork creates a new child heap of parent.
 func (t *Tree) Fork(parent *Heap) *Heap {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	h := &Heap{ID: t.nextID, parent: parent, depth: parent.depth + 1}
+	h.Gate.Chaos = t.chaos
 	t.nextID++
 	// Nest the child's Euler interval immediately inside the parent's pre
 	// visit; sibling intervals stack leftward, which preserves nesting.
 	// The seqlock covers the inserts: they may relabel tags that racing
-	// order queries are reading.
+	// order queries are reading. Both the seqlock close and the mutex
+	// release are deferred so that a label-space-exhaustion panic from
+	// InsertAfter unwinds without wedging concurrent order queries (which
+	// would otherwise spin on the odd version forever) — the runtime's
+	// panic-safe fork converts that panic into a Run error.
 	t.ver.Add(1)
+	defer t.ver.Add(1)
 	h.pre = parent.pre.InsertAfter()
 	h.post = h.pre.InsertAfter()
-	t.ver.Add(1)
 	t.put(h)
-	t.mu.Unlock()
 	parent.liveChildren.Add(1)
 	return h
 }
@@ -407,7 +439,11 @@ func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int, unpin
 	}
 	// Quiesce slow paths targeting the child: after BeginCollect no reader
 	// can be between validating the child's ownership and publishing a pin.
+	// The reopen is deferred: if anything in the merge body panics (e.g. a
+	// corrupted header surfacing in the unpin loop), readers parked at the
+	// gate must still be released or the unwind would hang them forever.
 	child.Gate.BeginCollect()
+	defer child.Gate.EndCollect()
 	child.DrainBuffers()
 
 	for _, c := range child.Chunks {
@@ -448,13 +484,12 @@ func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int, unpin
 	parent.RootSets = append(parent.RootSets, child.RootSets...)
 	child.RootSets = nil
 
-	child.Dead = true
+	child.dead.Store(true)
 	parent.Collections += child.Collections
 	parent.CopiedWords += child.CopiedWords
 
-	// Re-admit readers: they will fail ownership validation against the
-	// dead child and retry against the parent.
-	child.Gate.EndCollect()
+	// Readers re-admitted by the deferred EndCollect will fail ownership
+	// validation against the dead child and retry against the parent.
 
 	t.mu.Lock()
 	child.pre.Delete()

@@ -123,7 +123,7 @@ func TestMergeMovesChunksAndRemset(t *testing.T) {
 	if len(root.Chunks) != 1 || len(root.Remset) != 1 {
 		t.Fatalf("merge did not move lists: chunks=%d remset=%d", len(root.Chunks), len(root.Remset))
 	}
-	if !child.Dead {
+	if !child.Dead() {
 		t.Fatal("merged child not marked dead")
 	}
 	if root.LiveChildren() != 0 {

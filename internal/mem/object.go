@@ -1,6 +1,10 @@
 package mem
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"mplgo/internal/chaos"
+)
 
 // Kind classifies heap objects. The kind determines mutability (and hence
 // which accesses take the entanglement barriers) and whether the payload
@@ -212,6 +216,11 @@ func (s *Space) PinHeader(r Ref, unpinDepth int) (PinStatus, Header) {
 		unpinDepth = MaxUnpinDepth
 	}
 	c := s.chunk(r.Chunk())
+	if s.Chaos != nil && s.Chaos.Should(chaos.HeaderCAS) {
+		// Refuse the pin as a racing copier's BUSY window would, forcing
+		// the caller through its back-off/re-resolve retry path.
+		return PinBusy, Header(atomic.LoadUint64(&c.Data[r.Off()]))
+	}
 	p := &c.Data[r.Off()]
 	for {
 		old := atomic.LoadUint64(p)

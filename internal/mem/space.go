@@ -1,23 +1,37 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+
+	"mplgo/internal/chaos"
 )
 
 // ChunkWords is the default chunk payload size in words (64 KiB).
 const ChunkWords = 1 << 13
 
-// Chunk table geometry: a fixed directory of lazily-created segments, so
-// chunk lookup — on every Load/Store — is lock-free, while chunk creation
-// never moves previously published entries.
+// Chunk table geometry: a growable directory of lazily-created segments,
+// so chunk lookup — on every Load/Store — is lock-free, while chunk
+// creation never moves previously published entries (see Space).
 const (
-	segShift  = 12
-	segSize   = 1 << segShift // chunks per segment
-	dirSize   = 1 << 11       // segments
-	maxChunks = dirSize * segSize
+	segShift   = 12
+	segSize    = 1 << segShift // chunks per segment
+	initDirLen = 1 << 11       // segments the directory starts with
+	initChunks = initDirLen * segSize
+	// maxChunks is the absolute capacity: chunk ids are uint32 and must
+	// round-trip through Ref's packed encoding. Exhausting it is a genuine
+	// resource limit, surfaced as ErrChunkTableExhausted through the
+	// runtime's cancellation path rather than a process abort.
+	maxChunks = math.MaxUint32
 )
+
+// ErrChunkTableExhausted reports that every representable chunk id has been
+// assigned. NewChunk panics with this error; the runtime's panic-safe
+// fork–join recovers it and returns it from Run.
+var ErrChunkTableExhausted = errors.New("mem: chunk table exhausted (2^32 chunk ids assigned)")
 
 // Chunk is a contiguous arena of words owned by exactly one heap of the
 // hierarchy at a time. Heap identity lives on the chunk — not on objects —
@@ -49,11 +63,23 @@ type chunkSegment [segSize]*Chunk
 
 // Space is the global store of chunks: a two-level table plus a free list.
 // It tracks the residency statistics the space experiments report.
+//
+// The chunk directory is a copy-install slice of segment pointers: grown
+// by doubling under s.mu when the id space outruns it (the pre-hardening
+// table aborted there), lock-free for readers, like hierarchy.Tree's heap
+// spine. Readers racing a grow keep the old slice, which still resolves
+// every previously published chunk. The lookup fast path is one atomic
+// directory load, one segment load, and two indexes — cheap enough that
+// Load/Store/CAS still inline into the barriers (see chunk).
 type Space struct {
 	mu   sync.Mutex
 	next uint32   // next chunk id to assign; id 0 is reserved
 	free []*Chunk // released standard-size chunks available for reuse
-	dir  [dirSize]atomic.Pointer[chunkSegment]
+	dir  atomic.Pointer[[]atomic.Pointer[chunkSegment]]
+
+	// Chaos is the optional fault injector (nil in release paths). The
+	// HeaderCAS point lives in PinHeader.
+	Chaos *chaos.Injector
 
 	liveWords    atomic.Int64 // words in live (allocated-to-heap) chunks
 	maxLiveWords atomic.Int64 // high-water mark of liveWords
@@ -62,7 +88,35 @@ type Space struct {
 
 // NewSpace creates an empty space.
 func NewSpace() *Space {
-	return &Space{next: 1} // chunk id 0 reserved
+	s := &Space{next: 1} // chunk id 0 reserved
+	dir := make([]atomic.Pointer[chunkSegment], initDirLen)
+	s.dir.Store(&dir)
+	return s
+}
+
+// grow installs a doubled directory covering segment index bi. Caller
+// holds s.mu. Readers racing the install keep using the old slice, which
+// still resolves every previously published chunk.
+func (s *Space) grow(bi int) {
+	dir := *s.dir.Load()
+	n := len(dir)
+	for n <= bi {
+		n *= 2
+	}
+	ndir := make([]atomic.Pointer[chunkSegment], n)
+	for i := range dir {
+		ndir[i].Store(dir[i].Load())
+	}
+	s.dir.Store(&ndir)
+}
+
+// segSlot returns the directory slot for segment bi, growing the
+// directory if needed. Caller holds s.mu.
+func (s *Space) segSlot(bi int) *atomic.Pointer[chunkSegment] {
+	if bi >= len(*s.dir.Load()) {
+		s.grow(bi)
+	}
+	return &(*s.dir.Load())[bi]
 }
 
 // NewChunk allocates a chunk of at least minWords payload owned by heap.
@@ -83,15 +137,16 @@ func (s *Space) NewChunk(heap uint32, minWords int) *Chunk {
 	} else {
 		if s.next >= maxChunks {
 			s.mu.Unlock()
-			panic("mem: chunk table exhausted")
+			panic(ErrChunkTableExhausted)
 		}
 		id := s.next
 		s.next++
 		c = &Chunk{ID: id, Data: make([]uint64, words)}
-		seg := s.dir[id>>segShift].Load()
+		slot := s.segSlot(int(id >> segShift))
+		seg := slot.Load()
 		if seg == nil {
 			seg = new(chunkSegment)
-			s.dir[id>>segShift].Store(seg)
+			slot.Store(seg)
 		}
 		seg[id&(segSize-1)] = c
 	}
@@ -124,13 +179,31 @@ func (s *Space) Release(c *Chunk) {
 	s.mu.Unlock()
 }
 
-// chunk returns the chunk with the given index. Lock-free.
+// chunk returns the chunk with the given index. Lock-free: one atomic
+// directory load, one segment load, two indexes. Deliberately minimal —
+// it must stay within the inlining budget of Load/Store/CAS, which are
+// themselves inlined into the barriers.
 func (s *Space) chunk(idx uint32) *Chunk {
-	return s.dir[idx>>segShift].Load()[idx&(segSize-1)]
+	dir := *s.dir.Load()
+	return dir[idx>>segShift].Load()[idx&(segSize-1)]
 }
 
-// ChunkByID exposes chunk lookup to the collectors.
-func (s *Space) ChunkByID(idx uint32) *Chunk { return s.chunk(idx) }
+// ChunkByID exposes chunk lookup to the collectors and checkers. Unlike
+// the internal fast path it is bounds-safe: an id never published (e.g.
+// decoded from a corrupted reference) returns nil instead of faulting, so
+// integrity checkers can report the corruption.
+func (s *Space) ChunkByID(idx uint32) *Chunk {
+	dir := *s.dir.Load()
+	bi := int(idx >> segShift)
+	if bi >= len(dir) {
+		return nil
+	}
+	seg := dir[bi].Load()
+	if seg == nil {
+		return nil
+	}
+	return seg[idx&(segSize-1)]
+}
 
 // LiveWords returns the words currently held by live chunks.
 func (s *Space) LiveWords() int64 { return s.liveWords.Load() }

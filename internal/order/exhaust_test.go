@@ -1,0 +1,80 @@
+package order
+
+import (
+	"errors"
+	"testing"
+)
+
+// smallList builds a list whose mutation paths work in an n-label space,
+// so exhaustion is reachable without 2^61 insertions. Order queries are
+// unaffected: labels stay within [0, n) relative to the sentinel.
+func smallList(n uint64) *List {
+	l := NewList()
+	l.space = n
+	return l
+}
+
+// Dense insertion at a single point packs the labels after that point; the
+// pre-hardening relabel panicked once its window reached the whole tail,
+// even though the rest of the circular space was empty. The global
+// rebalance must absorb this until the list genuinely outgrows the space.
+func TestDenseInsertionRebalances(t *testing.T) {
+	l := smallList(256)
+	anchor := l.Base().InsertAfter()
+	// Repeatedly inserting after the anchor halves the same gap every
+	// time — the densest possible insertion pattern.
+	for i := 0; i < 100; i++ {
+		anchor.InsertAfter()
+		if !l.Validate() {
+			t.Fatalf("ordering invariant broken after %d dense inserts", i+1)
+		}
+	}
+	if l.Len() != 101 {
+		t.Fatalf("Len = %d, want 101", l.Len())
+	}
+}
+
+// Order queries must stay correct across a global rebalance.
+func TestRebalancePreservesOrder(t *testing.T) {
+	l := smallList(512)
+	first := l.Base().InsertAfter()
+	var elems []*Elem
+	elems = append(elems, first)
+	// Alternate a dense point with appends at the end so the rebalance
+	// has to move both crowded and sparse regions.
+	for i := 0; i < 120; i++ {
+		if i%2 == 0 {
+			elems = append(elems[:1], append([]*Elem{first.InsertAfter()}, elems[1:]...)...)
+		} else {
+			elems = append(elems, elems[len(elems)-1].InsertAfter())
+		}
+	}
+	for i := 0; i < len(elems); i++ {
+		for j := i + 1; j < len(elems); j++ {
+			if !Less(elems[i], elems[j]) {
+				t.Fatalf("Less(%d, %d) = false after rebalances", i, j)
+			}
+		}
+	}
+}
+
+// Genuine exhaustion (population ~ tagSpace/2) must surface as the typed
+// error the runtime's cancellation path understands, not a string panic.
+func TestGenuineExhaustionTypedPanic(t *testing.T) {
+	l := smallList(16)
+	e := l.Base().InsertAfter()
+	defer func() {
+		v := recover()
+		err, ok := v.(error)
+		if !ok || !errors.Is(err, ErrLabelSpaceExhausted) {
+			t.Fatalf("recovered %v, want ErrLabelSpaceExhausted", v)
+		}
+		if uint64(l.Len()) >= l.space {
+			t.Fatalf("accepted %d elements into a %d-label space", l.Len(), l.space)
+		}
+	}()
+	for i := 0; i < 64; i++ {
+		e.InsertAfter()
+	}
+	t.Fatal("64 inserts into a 16-label space did not exhaust it")
+}

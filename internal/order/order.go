@@ -17,10 +17,24 @@
 // and retry; the atomics here only guarantee the race is benign.
 package order
 
-import "sync/atomic"
+import (
+	"errors"
+	"sync/atomic"
+)
 
-// tagSpace is the size of the circular label space.
+// tagSpace is the size of the circular label space. A power-of-two
+// constant: rel's modulo is on the order-query hot path (every ancestor
+// check of the entanglement barriers) and must compile to a mask, not a
+// division. Exhaustion tests shrink a list's working space via List.space
+// instead of touching this.
 const tagSpace = uint64(1) << 62
+
+// ErrLabelSpaceExhausted reports that the list can no longer represent a
+// distinct label between two neighbors even after redistributing every
+// label: the list holds on the order of tagSpace/2 elements (~2^61 heaps —
+// unreachable in practice). InsertAfter panics with this error; the
+// runtime's panic-safe fork–join recovers it and returns it from Run.
+var ErrLabelSpaceExhausted = errors.New("order: label space exhausted")
 
 // Elem is an element of an order-maintenance list.
 type Elem struct {
@@ -34,11 +48,16 @@ type Elem struct {
 type List struct {
 	base *Elem // sentinel; the circular list is ordered by tag relative to base
 	n    int   // number of elements, excluding the sentinel
+	// space is the label space the mutation paths work in, tagSpace for
+	// every real list. Exhaustion tests shrink it; since labels then stay
+	// within [0, space) relative to the sentinel, the order queries'
+	// constant-modulo arithmetic is unaffected.
+	space uint64
 }
 
 // NewList creates an empty list.
 func NewList() *List {
-	l := &List{}
+	l := &List{space: tagSpace}
 	s := &Elem{list: l}
 	s.prev, s.next = s, s
 	l.base = s
@@ -75,6 +94,11 @@ func (e *Elem) InsertAfter() *Elem {
 		e.relabel()
 		succ = e.next
 		gap = gapBetween(e, succ)
+		if gap < 2 {
+			// Even a full redistribution could not open a gap: the list
+			// genuinely outgrew the label space.
+			panic(ErrLabelSpaceExhausted)
+		}
 	}
 	n := &Elem{list: l}
 	n.tag.Store(e.tag.Load() + gap/2)
@@ -91,7 +115,7 @@ func gapBetween(a, b *Elem) uint64 {
 	l := a.list
 	ra := a.rel()
 	if b == l.base {
-		return tagSpace - ra
+		return l.space - ra
 	}
 	return b.rel() - ra
 }
@@ -110,7 +134,7 @@ func (e *Elem) relabel() {
 	for {
 		var span uint64
 		if end == l.base {
-			span = tagSpace - e.rel()
+			span = l.space - e.rel()
 		} else {
 			span = end.rel() - e.rel()
 		}
@@ -118,16 +142,22 @@ func (e *Elem) relabel() {
 			break
 		}
 		if end == l.base {
-			// Whole list is in the window and the space is still
-			// too dense — cannot happen before ~2^31 elements.
-			panic("order: label space exhausted")
+			// The window grew to the whole tail after e and the space
+			// there is still too dense. The windowed scan only ever sees
+			// the labels from e forward, but the circular space between
+			// the sentinel and e may be nearly empty (dense insertion at
+			// one point skews labels toward it) — so redistribute every
+			// element evenly across the full space and let the caller
+			// re-measure its gap.
+			l.rebalanceAll()
+			return
 		}
 		end = end.next
 		j++
 	}
 	var span uint64
 	if end == l.base {
-		span = tagSpace - e.rel()
+		span = l.space - e.rel()
 	} else {
 		span = end.rel() - e.rel()
 	}
@@ -135,6 +165,25 @@ func (e *Elem) relabel() {
 	step := span / j
 	tag := e.tag.Load()
 	for x := e.next; x != end; x = x.next {
+		tag += step
+		x.tag.Store(tag)
+	}
+}
+
+// rebalanceAll redistributes every element's label evenly across the whole
+// circular space: element i (1-based, in list order) gets relative label
+// i*step with step = space/(n+1). This is the global fallback of the
+// windowed Dietz–Sleator relabel, reached only when dense insertion has
+// packed the entire region after some element; it restores a gap of at
+// least step-1 everywhere, so insertion succeeds as long as the population
+// stays below ~space/2.
+func (l *List) rebalanceAll() {
+	step := l.space / (uint64(l.n) + 1)
+	if step < 2 {
+		panic(ErrLabelSpaceExhausted)
+	}
+	tag := l.base.tag.Load()
+	for x := l.base.next; x != l.base; x = x.next {
 		tag += step
 		x.tag.Store(tag)
 	}

@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mplgo/internal/chaos"
 )
 
 // item is a stealable unit of work: the right branch of a fork.
@@ -51,6 +53,21 @@ type Pool struct {
 	workers []*Worker
 	done    atomic.Bool
 	wg      sync.WaitGroup
+
+	// OnPanic, when set, receives panics recovered from work items instead
+	// of letting them kill the worker goroutine. The pool guarantees that
+	// a panicking item is still marked done, so the forker waiting at its
+	// join always unblocks — a panic can no longer hang Run. The handler
+	// runs on the panicking worker's goroutine and must not panic itself.
+	// When nil, panics propagate as before (and Run still drains the pool
+	// on its way out).
+	OnPanic func(recovered any)
+
+	// Chaos, when set, widens the steal window at forks
+	// (chaos.StealDecision): the forking worker yields after publishing
+	// the right branch, forcing steals — and hence heap materialization
+	// and entangled joins — that an unloaded run would rarely perform.
+	Chaos *chaos.Injector
 }
 
 // NewPool creates a pool with p workers. The seed makes victim selection
@@ -92,6 +109,10 @@ func (p *Pool) TotalSteals() int64 {
 // Run executes root on worker 0, with workers 1..P-1 stealing, and returns
 // when root has returned (fork–join structure guarantees no work outlives
 // it). A pool can run multiple times, but not concurrently.
+//
+// The shutdown runs in a defer so that even a panic escaping root (no
+// OnPanic handler installed) drains the stealing workers before
+// propagating: the pool never leaks goroutines, whatever the outcome.
 func (p *Pool) Run(root func(*Worker)) {
 	p.done.Store(false)
 	for _, w := range p.workers[1:] {
@@ -101,17 +122,38 @@ func (p *Pool) Run(root func(*Worker)) {
 			w.stealLoop()
 		}(w)
 	}
+	defer func() {
+		p.done.Store(true)
+		p.wg.Wait()
+	}()
 	root(p.workers[0])
-	p.done.Store(true)
-	p.wg.Wait()
+}
+
+// runItem executes one work item, guaranteeing the done flag is set even
+// if the item panics — the forker spinning at the join in ForkJoin depends
+// on it. A recovered panic goes to OnPanic when installed and otherwise
+// resumes propagation (after done is set, so the join still unblocks).
+func (p *Pool) runItem(w *Worker, t *item, stolen bool) {
+	defer func() {
+		v := recover()
+		t.done.Store(true)
+		if v == nil {
+			return
+		}
+		if p.OnPanic != nil {
+			p.OnPanic(v)
+			return
+		}
+		panic(v)
+	}()
+	t.run(w, stolen)
 }
 
 // stealLoop runs stolen work until the pool shuts down.
 func (w *Worker) stealLoop() {
 	for !w.pool.done.Load() {
 		if t := w.trySteal(); t != nil {
-			t.run(w, true)
-			t.done.Store(true)
+			w.pool.runItem(w, t, true)
 		} else {
 			runtime.Gosched()
 		}
@@ -148,27 +190,51 @@ func (w *Worker) trySteal() *item {
 // ForkJoin evaluates f and g, potentially in parallel, returning when both
 // have finished. g receives the worker executing it and whether it was
 // stolen by a different worker than the one that forked it.
+//
+// A panic in f still joins g before propagating: the deferred join either
+// pops the unstolen item back off the deque (discarding it — its branch
+// never started) or waits for the thief to finish it, so no work item ever
+// outlives its fork's stack frame and the deque discipline survives the
+// unwind.
 func (w *Worker) ForkJoin(f func(*Worker), g func(w *Worker, stolen bool)) {
 	t := &item{run: g}
 	w.dq.pushBottom(t)
-	f(w)
-	if got := w.dq.popBottom(); got != nil {
-		if got != t {
-			// Fork–join nesting guarantees the bottom of the deque is the
-			// item we pushed: inner forks pop their own items before we
-			// return here.
-			panic("sched: deque discipline violated")
-		}
-		g(w, false)
-		return
-	}
-	// Our item was stolen; help by stealing other work until it completes.
-	for !t.done.Load() {
-		if s := w.trySteal(); s != nil {
-			s.run(w, true)
-			s.done.Store(true)
-		} else {
+	if c := w.pool.Chaos; c != nil && c.Should(chaos.StealDecision) {
+		// Widen the steal window: give thieves a chance to take g before
+		// this worker returns for it.
+		for i := c.Spin(chaos.StealDecision); i > 0; i-- {
 			runtime.Gosched()
 		}
 	}
+	fDone := false
+	defer func() {
+		got := w.dq.popBottom()
+		if got != nil {
+			if got != t {
+				// Fork–join nesting guarantees the bottom of the deque is
+				// the item we pushed: inner forks pop their own items
+				// before we return here.
+				panic("sched: deque discipline violated")
+			}
+			if fDone {
+				g(w, false)
+			}
+			// f panicked with g unstolen: discard g's item (the branch
+			// never ran; the caller's recovery decides what that means)
+			// and let the panic continue.
+			return
+		}
+		// Our item was stolen; help by stealing other work until it
+		// completes. runItem marks stolen items done even when they
+		// panic, so this join cannot hang.
+		for !t.done.Load() {
+			if s := w.trySteal(); s != nil {
+				w.pool.runItem(w, s, true)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	f(w)
+	fDone = true
 }

@@ -32,6 +32,7 @@
 package mpl
 
 import (
+	"mplgo/internal/chaos"
 	"mplgo/internal/core"
 	"mplgo/internal/entangle"
 	"mplgo/internal/mem"
@@ -82,6 +83,28 @@ const (
 // ErrEntangled is returned by Run in Detect mode when the program
 // entangles.
 var ErrEntangled = entangle.ErrEntangled
+
+// ErrCancelled is returned by Run when the computation was aborted via
+// Runtime.Cancel before completing.
+var ErrCancelled = core.ErrCancelled
+
+// ErrHeapLimit is returned by Run when Config.MaxHeapWords was exceeded and
+// a forced collection could not bring residency back under the limit.
+var ErrHeapLimit = core.ErrHeapLimit
+
+// PanicError wraps a panic recovered from a task branch; Run returns it
+// instead of crashing the process or hanging the worker pool. Unwrap
+// exposes panics whose value was itself an error, so errors.Is sees the
+// typed resource-exhaustion panics.
+type PanicError = core.PanicError
+
+// ChaosOptions configures the deterministic fault-injection layer via
+// Config.Chaos (rates are per-1024 probabilities at each injection point,
+// derived from Config.Seed). Testing only — never set in timing runs.
+type ChaosOptions = chaos.Options
+
+// ChaosSoak returns the aggressive preset used by the chaos test suite.
+func ChaosSoak() ChaosOptions { return chaos.Soak() }
 
 // New creates a runtime. A runtime executes one computation via Run.
 func New(cfg Config) *Runtime { return core.New(cfg) }
