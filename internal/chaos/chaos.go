@@ -54,6 +54,19 @@ const (
 	// JoinCheck fires after a join's merge: a hit runs the (relaxed)
 	// invariant checker over the merged parent heap.
 	JoinCheck
+	// CGCMark fires per object greyed by the concurrent collector's mark
+	// loop: a hit yields the CGC worker, stretching the marking phase so
+	// mutator writes, joins, and steal-backs land mid-mark.
+	CGCMark
+	// CGCSweep fires per chunk in the concurrent sweep: a hit yields the
+	// CGC worker inside its gated sweep window, dwelling merges and
+	// resuming owners in their WaitBeginCollect/steal-back loops.
+	CGCSweep
+	// CGCShade fires in the SATB deletion barrier before an overwritten
+	// reference is pushed to the shade queue: a hit yields the mutator
+	// while it holds its heap's reader gate, widening the window the
+	// marking-termination gate flush must close.
+	CGCShade
 	numPoints int = iota
 )
 
@@ -71,6 +84,12 @@ func (p Point) String() string {
 		return "busy-window"
 	case JoinCheck:
 		return "join-check"
+	case CGCMark:
+		return "cgc-mark"
+	case CGCSweep:
+		return "cgc-sweep"
+	case CGCShade:
+		return "cgc-shade"
 	}
 	return "invalid"
 }
@@ -95,6 +114,9 @@ type Options struct {
 	HeaderCAS     uint32
 	BusyWindow    uint32
 	JoinCheck     uint32
+	CGCMark       uint32
+	CGCSweep      uint32
+	CGCShade      uint32
 }
 
 // Soak is the default option set of the chaos soak suite: every point on,
@@ -108,6 +130,9 @@ func Soak() Options {
 		HeaderCAS:     512,
 		BusyWindow:    512,
 		JoinCheck:     256,
+		CGCMark:       256,
+		CGCSweep:      512,
+		CGCShade:      256,
 	}
 }
 
@@ -141,6 +166,9 @@ func New(seed int64, o Options) *Injector {
 	in.rate[HeaderCAS] = clamp(o.HeaderCAS, retryClamp)
 	in.rate[BusyWindow] = clamp(o.BusyWindow, 1024)
 	in.rate[JoinCheck] = clamp(o.JoinCheck, 1024)
+	in.rate[CGCMark] = clamp(o.CGCMark, 1024)
+	in.rate[CGCSweep] = clamp(o.CGCSweep, 1024)
+	in.rate[CGCShade] = clamp(o.CGCShade, 1024)
 	return in
 }
 

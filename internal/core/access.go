@@ -17,6 +17,14 @@ func (t *Task) guardedGC(vs []mem.Value) {
 	if t.rt.cancelled.Load() {
 		return
 	}
+	if t.cgcOn {
+		// Allocation is the universal safepoint: publish frame roots to a
+		// marking cycle (before the early-out — the cycle may be waiting
+		// on exactly this task), and adopt chunks the concurrent sweep
+		// left with threaded free spans for this heap.
+		t.cgcSafepoint()
+		t.heap.DrainReusable(t.alloc.AddReusable)
+	}
 	over := t.overHeapLimit()
 	if !over && !t.needGC() {
 		return
@@ -25,12 +33,15 @@ func (t *Task) guardedGC(vs []mem.Value) {
 	for i, v := range vs {
 		f.Set(i, v)
 	}
-	t.collectNow()
+	collected := t.collectNow()
 	for i := range vs {
 		vs[i] = f.Get(i)
 	}
 	f.Pop()
-	if over && t.overHeapLimit() {
+	if over && collected && t.overHeapLimit() {
+		// Only a collection that actually ran proves the limit is real: a
+		// collection deferred behind a concurrent cycle retries instead of
+		// condemning the run.
 		t.rt.cancelWith(ErrHeapLimit)
 	}
 }
@@ -159,8 +170,15 @@ func (t *Task) writeBarrier(o mem.Ref, i int, x mem.Ref) {
 }
 
 // Write stores v into payload word i of o through the write barrier.
+// When the concurrent collector is marking, the store also runs the SATB
+// deletion barrier: the reference about to be overwritten is shaded before
+// it becomes unreachable (entangle.ShadeOverwritten).
 func (t *Task) Write(o mem.Ref, i int, v mem.Value) {
 	t.workAcc += costAccess
+	if t.cgcOn {
+		t.cgcSafepoint()
+		t.rt.ent.ShadeOverwritten(t.heap, o, i)
+	}
 	if t.barriers && v.IsRef() {
 		t.writeBarrier(o, i, v.Ref())
 	}
@@ -178,6 +196,12 @@ func (t *Task) Assign(cell mem.Ref, v mem.Value) { t.Write(cell, 0, v) }
 // concurrent data structures of the entangled benchmarks.
 func (t *Task) CAS(o mem.Ref, i int, old, new mem.Value) bool {
 	t.workAcc += costAccess
+	if t.cgcOn {
+		// SATB: shade what the swap may displace. Shading the current
+		// value is conservative even if the CAS then fails.
+		t.cgcSafepoint()
+		t.rt.ent.ShadeOverwritten(t.heap, o, i)
+	}
 	if t.barriers && new.IsRef() {
 		t.writeBarrier(o, i, new.Ref())
 	}

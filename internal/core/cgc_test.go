@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mplgo/internal/chaos"
+	"mplgo/internal/mem"
+)
+
+// Tests for the concurrent collector (gc.CGC) wired through the runtime:
+// the server-style churn workload whose footprint the issue's acceptance
+// criterion is stated over, the chaos soak with the CGC injection points
+// armed, and the off-switch guard.
+
+// cgcChurn is the server-style workload: a long-lived array in the root
+// heap is repeatedly refreshed (the displaced tuples become root-heap
+// garbage) while fork–join rounds run underneath it. Because the root task
+// is parked under live children for the whole branch phase of every round,
+// the root heap is internal exactly then — the only collector that can
+// touch the accumulated garbage is the concurrent one. Returns a checksum
+// of the live array for integrity checking.
+func cgcChurn(t *Task, rounds, keep, garbage, branchWork int) mem.Value {
+	f := t.NewFrame(1)
+	defer f.Pop()
+	f.Set(0, t.AllocArray(keep, mem.Nil).Value())
+	for r := 0; r < rounds; r++ {
+		// Refresh one slot: the overwritten tuple dies in the root heap.
+		// During a marking cycle this store runs the SATB deletion barrier.
+		slot := r % keep
+		tup := t.AllocTuple(mem.Int(int64(r)), mem.Int(int64(slot)))
+		t.Write(f.Ref(0), slot, tup.Value())
+		// Per-round garbage in the root heap, dead before the fork below.
+		for i := 0; i < garbage; i++ {
+			t.AllocTuple(mem.Int(int64(i)), mem.Int(int64(r)))
+		}
+		// The fork–join round: branches allocate in child heaps; their
+		// results are discarded, so the merged chunks are garbage the next
+		// round's concurrent cycle can reclaim.
+		t.Par(
+			func(t *Task) mem.Value {
+				var last mem.Ref
+				for i := 0; i < branchWork; i++ {
+					last = t.AllocTuple(mem.Int(int64(i)), mem.Int(1))
+				}
+				return last.Value()
+			},
+			func(t *Task) mem.Value {
+				var last mem.Ref
+				for i := 0; i < branchWork; i++ {
+					last = t.AllocTuple(mem.Int(int64(i)), mem.Int(2))
+				}
+				return last.Value()
+			},
+		)
+	}
+	// Checksum the live state: every slot must still hold the tuple from
+	// the round that last wrote it, concurrent sweeps notwithstanding. A
+	// slot a sweep wrongly reclaimed shows up as a checksum mismatch
+	// (never-written slots are Nil by construction when rounds < keep).
+	var sum int64
+	for i := 0; i < keep; i++ {
+		if v := t.Read(f.Ref(0), i); v.IsRef() {
+			sum += t.Read(v.Ref(), 0).AsInt()*int64(keep) + t.Read(v.Ref(), 1).AsInt()
+		}
+	}
+	return mem.Int(sum)
+}
+
+// cgcChurnWant computes the expected checksum without running the runtime.
+func cgcChurnWant(rounds, keep int) int64 {
+	var sum int64
+	last := make([]int, keep)
+	for i := range last {
+		last[i] = -1
+	}
+	for r := 0; r < rounds; r++ {
+		last[r%keep] = r
+	}
+	for i, r := range last {
+		if r >= 0 {
+			sum += int64(r)*int64(keep) + int64(i)
+		}
+	}
+	return sum
+}
+
+// TestCGCBoundedFootprint is the issue's acceptance soak: >=100 fork–join
+// rounds against shared root-heap state with local collections disabled.
+// Without CGC the footprint grows linearly in the number of rounds; with
+// CGC on, concurrent cycles reclaim the internal root heap's garbage while
+// the rounds run, and the high-water mark stays well below the
+// unreclaimed total. The checksum proves the live state survived the
+// concurrent sweeps intact.
+func TestCGCBoundedFootprint(t *testing.T) {
+	const (
+		rounds     = 120
+		keep       = 64
+		garbage    = 400
+		branchWork = 20000
+	)
+	want := cgcChurnWant(rounds, keep)
+
+	run := func(cgcOn bool) (max int64, rt *Runtime) {
+		cfg := Config{Procs: 4, DisableGC: true, Seed: 11}
+		if cgcOn {
+			cfg.CGC = true
+			cfg.CGCThresholdWords = 1 // collect whenever there is anything at all
+		}
+		rt = New(cfg)
+		v, err := rt.Run(func(tk *Task) mem.Value {
+			return cgcChurn(tk, rounds, keep, garbage, branchWork)
+		})
+		if err != nil {
+			t.Fatalf("cgc=%v: %v", cgcOn, err)
+		}
+		if got := v.AsInt(); got != want {
+			t.Fatalf("cgc=%v: checksum %d, want %d", cgcOn, got, want)
+		}
+		return rt.MaxLiveWords(), rt
+	}
+
+	offMax, _ := run(false)
+	onMax, rt := run(true)
+
+	cycles, freed, swept, retained, lastLive := rt.CGCStats()
+	t.Logf("footprint: off=%d on=%d words; cycles=%d freed=%d swept=%d retained=%d lastLive=%d",
+		offMax, onMax, cycles, freed, swept, retained, lastLive)
+	if cycles == 0 {
+		t.Fatal("no concurrent cycles ran over 120 internal windows")
+	}
+	if freed == 0 && swept == 0 {
+		t.Fatal("concurrent cycles reclaimed nothing (no freed words, no swept chunks)")
+	}
+	if onMax*2 > offMax {
+		t.Fatalf("footprint not bounded: %d words with CGC on vs %d off (want <= half)",
+			onMax, offMax)
+	}
+	if err := rt.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after concurrent collection: %v", err)
+	}
+}
+
+// TestCGCSteadyStateFootprint is the CI footprint soak: the churn's max
+// residency with CGC on must reach a steady state rather than grow with
+// uptime. The CGC-off run at the same round count measures the linear
+// baseline directly (footprint = accumulated garbage, deterministic, no
+// collector pacing in it); the CGC-on run must stay at half of it or
+// less, at a round count where the baseline is ~7x the steady state. If
+// concurrent cycles silently stop claiming or fall behind, on converges
+// to off and the check fails unambiguously. The off runs also validate
+// the detector itself: without CGC the footprint really is linear in the
+// rounds, so "on stays flat" is a property of the collector, not of the
+// workload. A raw on(60)-vs-on(240) ratio was tried first and flaked:
+// the high-water mark records the single worst collector lag of a run,
+// and longer runs have more chances to hit one.
+func TestCGCSteadyStateFootprint(t *testing.T) {
+	const (
+		keep       = 32
+		garbage    = 300
+		branchWork = 6000
+	)
+	run := func(rounds int, cgcOn bool) int64 {
+		cfg := Config{Procs: 4, DisableGC: true, Seed: 17}
+		if cgcOn {
+			cfg.CGC = true
+			cfg.CGCThresholdWords = 1
+		}
+		rt := New(cfg)
+		want := cgcChurnWant(rounds, keep)
+		v, err := rt.Run(func(tk *Task) mem.Value {
+			return cgcChurn(tk, rounds, keep, garbage, branchWork)
+		})
+		if err != nil {
+			t.Fatalf("rounds=%d cgc=%v: %v", rounds, cgcOn, err)
+		}
+		if got := v.AsInt(); got != want {
+			t.Fatalf("rounds=%d cgc=%v: checksum %d, want %d", rounds, cgcOn, got, want)
+		}
+		if err := rt.CheckInvariants(); err != nil {
+			t.Fatalf("rounds=%d cgc=%v: invariants: %v", rounds, cgcOn, err)
+		}
+		return rt.MaxLiveWords()
+	}
+	offShort := run(60, false)
+	offLong := run(240, false)
+	onLong := run(240, true)
+	t.Logf("footprint: off(60)=%d off(240)=%d on(240)=%d words", offShort, offLong, onLong)
+	if offLong < offShort*2 {
+		t.Fatalf("workload no longer grows without CGC (off: %d at 60 rounds, %d at 240); "+
+			"the steady-state check below would be vacuous", offShort, offLong)
+	}
+	if onLong*2 > offLong {
+		t.Fatalf("footprint grows with uptime: %d words at 240 rounds with CGC on vs %d off "+
+			"(want <= half)", onLong, offLong)
+	}
+}
+
+// TestCGCOffIsFree: with Config.CGC unset no collector is allocated, no
+// aux worker runs, and the per-task hooks stay behind one cached branch.
+func TestCGCOffIsFree(t *testing.T) {
+	rt := New(Config{Procs: 2})
+	if rt.cgc != nil {
+		t.Fatal("concurrent collector allocated with CGC unset")
+	}
+	if rt.pool.Aux != nil {
+		t.Fatal("aux worker installed with CGC unset")
+	}
+	if _, err := rt.Run(func(tk *Task) mem.Value {
+		return cgcChurn(tk, 10, 8, 50, 50)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c, f, s, r, l := rt.CGCStats(); c|f|s|r|l != 0 {
+		t.Fatalf("CGCStats nonzero with CGC off: %d %d %d %d %d", c, f, s, r, l)
+	}
+}
+
+// TestCGCWithLocalGC runs the churn with both collectors enabled: local
+// collections of leaf heaps defer behind concurrent cycles (cgcExcl) and
+// vice versa, and both must agree on the surviving state.
+func TestCGCWithLocalGC(t *testing.T) {
+	const rounds, keep = 100, 32
+	want := cgcChurnWant(rounds, keep)
+	rt := New(Config{
+		Procs:             4,
+		HeapBudgetWords:   1024, // frequent local collections
+		CGC:               true,
+		CGCThresholdWords: 1,
+		Seed:              7,
+	})
+	v, err := rt.Run(func(tk *Task) mem.Value {
+		return cgcChurn(tk, rounds, keep, 200, 400)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.AsInt(); got != want {
+		t.Fatalf("checksum %d, want %d", got, want)
+	}
+	if err := rt.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestChaosCGCSoak layers the fault-injection preset — now including the
+// CGCMark / CGCSweep / CGCShade points — over the entangled random
+// workloads with the concurrent collector on. Named TestChaos* so the CI
+// chaos job's -run filter picks it up. Correctness is checked against an
+// injection-free P=1 run, and Run's strict audit (enabled by Chaos) must
+// pass with concurrent cycles having run underneath the workload.
+func TestChaosCGCSoak(t *testing.T) {
+	const depth = 7
+	opts := chaos.Soak()
+	for _, seed := range chaosSeeds(t) {
+		prog := randomProgram(uint64(seed)+300, depth, true)
+		var want int64
+		{
+			rt := New(Config{Procs: 1})
+			v, err := rt.Run(prog)
+			if err != nil {
+				t.Fatalf("seed %d: baseline run failed: %v", seed, err)
+			}
+			want = v.AsInt()
+		}
+		for _, cfg := range []Config{
+			{Procs: 4, HeapBudgetWords: 2048, Seed: seed, Chaos: &opts,
+				CGC: true, CGCThresholdWords: 1},
+			{Procs: 4, HeapBudgetWords: 2048, Seed: seed, Chaos: &opts,
+				CGC: true, CGCThresholdWords: 1, LazyHeaps: true},
+		} {
+			rt := New(cfg)
+			v, err := rt.Run(prog)
+			if err != nil {
+				dumpChaosFailure(t, rt, seed, cfg, err)
+				t.Fatalf("seed %d %+v: %v\n%s", seed, cfg, err, rt.ChaosReport())
+			}
+			if v.AsInt() != want {
+				dumpChaosFailure(t, rt, seed, cfg,
+					fmt.Errorf("result %d, want %d", v.AsInt(), want))
+				t.Fatalf("seed %d %+v: result %d, want %d\n%s",
+					seed, cfg, v.AsInt(), want, rt.ChaosReport())
+			}
+			if s := rt.EntStats(); s.Pins != s.Unpins {
+				dumpChaosFailure(t, rt, seed, cfg,
+					fmt.Errorf("pins %d != unpins %d", s.Pins, s.Unpins))
+				t.Fatalf("seed %d %+v: pins %d != unpins %d", seed, cfg, s.Pins, s.Unpins)
+			}
+		}
+	}
+}
+
+// TestChaosCGCChurn puts the deterministic-footprint workload itself under
+// chaos with CGC on: SATB shades, mark steps, and sweep steps all yield at
+// injected points while the checksum must still come out right.
+func TestChaosCGCChurn(t *testing.T) {
+	const rounds, keep = 60, 16
+	want := cgcChurnWant(rounds, keep)
+	opts := chaos.Soak()
+	for _, seed := range chaosSeeds(t) {
+		cfg := Config{
+			Procs: 4, HeapBudgetWords: 1024, Seed: seed, Chaos: &opts,
+			CGC: true, CGCThresholdWords: 1,
+		}
+		rt := New(cfg)
+		v, err := rt.Run(func(tk *Task) mem.Value {
+			return cgcChurn(tk, rounds, keep, 100, 200)
+		})
+		if err != nil {
+			dumpChaosFailure(t, rt, seed, cfg, err)
+			t.Fatalf("seed %d: %v\n%s", seed, err, rt.ChaosReport())
+		}
+		if got := v.AsInt(); got != want {
+			dumpChaosFailure(t, rt, seed, cfg, fmt.Errorf("checksum %d, want %d", got, want))
+			t.Fatalf("seed %d: checksum %d, want %d\n%s", seed, got, want, rt.ChaosReport())
+		}
+	}
+}

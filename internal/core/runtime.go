@@ -98,6 +98,16 @@ type Config struct {
 	// CASes, plus invariant audits at joins, collection ends, and the end
 	// of Run. For testing only — never set in timing runs.
 	Chaos *chaos.Options
+	// CGC enables the concurrent collector (gc.CGC): a dedicated worker
+	// that marks and sweeps internal heaps — heaps suspended under live
+	// children, which local collections cannot reach — while the
+	// computation runs. Off by default; timing runs keep it off so the
+	// mutator fast paths carry no barrier cost (every CGC hook is gated on
+	// a nil test).
+	CGC bool
+	// CGCThresholdWords is the trigger floor: the collector worker starts
+	// a cycle only while total residency exceeds it. Default 1<<15.
+	CGCThresholdWords int64
 }
 
 func (c *Config) fill() {
@@ -106,6 +116,9 @@ func (c *Config) fill() {
 	}
 	if c.HeapBudgetWords <= 0 {
 		c.HeapBudgetWords = 1 << 17
+	}
+	if c.CGCThresholdWords <= 0 {
+		c.CGCThresholdWords = 1 << 15
 	}
 }
 
@@ -120,6 +133,14 @@ type Runtime struct {
 	pool  *sched.Pool
 	trace *sim.Node
 	chaos *chaos.Injector
+
+	// cgc is the concurrent collector, nil unless Config.CGC. cgcExcl
+	// serializes its cycles against local collections (see cgc.go);
+	// cgcTasks is the handshake registry, guarded by cgcMu.
+	cgc      *gc.CGC
+	cgcExcl  sync.RWMutex
+	cgcMu    sync.Mutex
+	cgcTasks map[*Task]struct{}
 
 	// cancelled is the runtime-wide cooperative cancellation flag, set by
 	// Cancel, by a recovered branch panic, and by unrecoverable resource
@@ -149,6 +170,14 @@ func New(cfg Config) *Runtime {
 		r.space.Chaos = r.chaos
 		r.tree.SetChaos(r.chaos)
 		r.pool.Chaos = r.chaos
+	}
+	if cfg.CGC {
+		// After the chaos block: the collector inherits the injector so
+		// the CGCMark/CGCSweep/CGCShade points fire in chaos runs.
+		r.cgc = gc.NewCGC(r.space, r.tree, r.chaos)
+		r.ent.SATB = r.cgc
+		r.cgcTasks = make(map[*Task]struct{})
+		r.pool.Aux = r.cgcLoop
 	}
 	if cfg.Record {
 		r.trace = sim.NewTrace()

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"mplgo/internal/chaos"
 	"mplgo/internal/entangle"
 	"mplgo/internal/gc"
@@ -50,6 +52,15 @@ type Task struct {
 
 	sinceGC  int64
 	barriers bool
+
+	// Concurrent-collector handshake state (see cgc.go). cgcOn caches
+	// rt.cgc != nil so every hook below is one branch when CGC is off;
+	// cgcPark is the run/parked/claimed word the collector claims parked
+	// tasks through; cgcEpoch is the last cycle epoch this task's frame
+	// roots were published for.
+	cgcOn    bool
+	cgcPark  atomic.Uint32
+	cgcEpoch atomic.Uint64
 }
 
 func (r *Runtime) newTask(w *sched.Worker, h *hierarchy.Heap, node *sim.Node) *Task {
@@ -61,6 +72,10 @@ func (r *Runtime) newTask(w *sched.Worker, h *hierarchy.Heap, node *sim.Node) *T
 		node:     node,
 		barriers: r.cfg.Mode != entangle.Unsafe,
 	}
+	if r.cgc != nil {
+		t.cgcOn = true
+		r.cgcRegister(t)
+	}
 	h.AddRootSet(t)
 	return t
 }
@@ -70,6 +85,9 @@ func (t *Task) finish() {
 	t.flushWork()
 	t.syncChunks()
 	t.heap.RemoveRootSet(t)
+	if t.cgcOn {
+		t.rt.cgcUnregister(t)
+	}
 }
 
 // syncChunks adopts the allocator's chunks into the task's heap so
@@ -147,14 +165,24 @@ func (t *Task) maybeGC() {
 // is provably at an allocation safepoint with its live references framed —
 // is safe to move. Joined children have already merged their chunks into
 // this heap, so their garbage is still reclaimed here.
-func (t *Task) collectNow() {
+func (t *Task) collectNow() bool {
 	t.syncChunks()
 	if t.heap.LiveChildren() != 0 || t.heap.PendingForks.Load() != 0 {
 		// An outstanding fork runs (or may run) in this heap and holds
 		// unscannable references into it; retry after more allocation
 		// rather than on every call.
 		t.sinceGC = t.rt.cfg.HeapBudgetWords / 2
-		return
+		return false
+	}
+	if t.cgcOn {
+		// Defer — never block — while a concurrent cycle runs: the cycle
+		// is waiting on safepoint handshakes, and a mutator blocked here
+		// would never reach one.
+		if !t.rt.cgcExcl.TryRLock() {
+			t.sinceGC = t.rt.cfg.HeapBudgetWords / 2
+			return false
+		}
+		defer t.rt.cgcExcl.RUnlock()
 	}
 	res := t.rt.col.Collect([]*hierarchy.Heap{t.heap})
 	t.alloc.Retarget(t.heap.ID)
@@ -166,6 +194,7 @@ func (t *Task) collectNow() {
 			t.rt.cancelWith(err)
 		}
 	}
+	return true
 }
 
 // Par evaluates f and g in parallel and returns both results. Child heaps
@@ -186,6 +215,9 @@ func (t *Task) collectNow() {
 func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 	if t.rt.cancelled.Load() {
 		return mem.Nil, mem.Nil
+	}
+	if t.cgcOn {
+		t.cgcSafepoint()
 	}
 	t.syncChunks()
 	t.flushWork()
@@ -228,6 +260,12 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 	} else {
 		lheap := t.rt.tree.Fork(t.heap)
 		rheap := t.rt.tree.Fork(t.heap)
+		// Park for the concurrent collector: from here to the unpark this
+		// task runs no code of its own (the branches run as fresh tasks,
+		// even on this worker), so its frames are stable and the collector
+		// may claim-scan them — and may claim this heap, now suspended
+		// under live children, for a concurrent cycle.
+		t.cgcParkSelf()
 		t.w.ForkJoin(
 			func(w *sched.Worker) {
 				lt := t.rt.newTask(w, lheap, lnode)
@@ -242,6 +280,21 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 				rv = g(gt)
 			},
 		)
+		t.cgcUnpark()
+		if t.cgcOn {
+			// If a concurrent cycle claimed this heap while we were parked,
+			// wait for it to finish with the heap rather than revoking the
+			// claim — the cycle then always gets to sweep what it marked.
+			// Self-scan first: the cycle's mark fixpoint may be waiting for
+			// this task's safepoint, which blocking here would never reach.
+			// Then drop allocator references to chunks a sweep released:
+			// the bump chunk and reuse-list entries may no longer belong to
+			// this heap, and carving into them would mint references into
+			// free (or recycled) memory.
+			t.cgcSafepoint()
+			t.cgcResumeHeap()
+			t.alloc.Revalidate()
+		}
 		t.rt.ent.OnJoin(lheap, t.heap)
 		t.rt.ent.OnJoin(rheap, t.heap)
 	}
@@ -279,6 +332,9 @@ func (t *Task) runInline(f func(*Task) mem.Value) (v mem.Value) {
 func (t *Task) ParFor(lo, hi, grain int, body func(t *Task, lo, hi int)) {
 	if t.rt.cancelled.Load() {
 		return // cancellation point: skip remaining range while unwinding
+	}
+	if t.cgcOn {
+		t.cgcSafepoint()
 	}
 	if grain < 1 {
 		grain = 1

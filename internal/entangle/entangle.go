@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"mplgo/internal/gc"
 	"mplgo/internal/hierarchy"
 	"mplgo/internal/mem"
 )
@@ -161,6 +162,13 @@ type Manager struct {
 	Tree  *hierarchy.Tree
 	Mode  Mode
 	Stats Stats
+
+	// SATB, when non-nil, is the concurrent collector's deletion barrier
+	// (gc.CGC): every mutator store runs ShadeOverwritten before the raw
+	// store so references deleted while the collector is marking are kept
+	// in its snapshot. Set once at runtime construction, before any task
+	// runs; nil whenever the concurrent collector is off.
+	SATB *gc.CGC
 }
 
 // New creates a manager.
@@ -177,8 +185,35 @@ func (m *Manager) heapOf(r mem.Ref) *hierarchy.Heap {
 	return m.Tree.Get(m.Space.HeapOf(r))
 }
 
+// ShadeOverwritten is the snapshot-at-the-beginning deletion barrier of
+// the concurrent collector: called before a store to payload word i of o,
+// it shades the reference the store is about to overwrite if that
+// reference lies in a heap the collector is marking. The push happens
+// under the writer's own reader gate, bracketing the phase re-check — the
+// collector's marking-termination gate flush relies on exactly this to
+// observe every in-flight shade. The companion bookkeeping for the stored
+// value itself is OnWrite below; the two are independent barriers.
+func (m *Manager) ShadeOverwritten(leaf *hierarchy.Heap, o mem.Ref, i int) {
+	g := m.SATB
+	if g == nil || !g.Marking() {
+		return
+	}
+	old := m.Space.Load(o, i)
+	if !old.IsRef() || !g.InScope(old.Ref()) {
+		return
+	}
+	leaf.Gate.EnterReader()
+	if g.Marking() {
+		g.Shade(old.Ref())
+	}
+	leaf.Gate.ExitReader()
+}
+
 // OnWrite performs the write-barrier bookkeeping for storing the reference
 // x into payload word i of object o, by a task whose leaf heap is leaf.
+// (When the concurrent collector is on, the caller also runs the
+// ShadeOverwritten deletion barrier; OnWrite itself only classifies the
+// stored edge.)
 // It must run BEFORE the raw store: the candidate bit must be visible to
 // any reader that can observe the new pointer. The caller has already
 // filtered the same-heap fast path and non-reference values.

@@ -55,6 +55,10 @@ type Collector struct {
 	Collections    atomic.Int64
 	CopiedWords    atomic.Int64
 	ReclaimedWords atomic.Int64
+	// RetainedChunks totals chunks kept alive across collections only
+	// because they hold pinned (entangled) objects: the paper's transient
+	// space cost of entanglement, surfaced through Runtime stats.
+	RetainedChunks atomic.Int64
 }
 
 // New creates a collector.
@@ -91,10 +95,17 @@ func (c *Collector) Collect(scope []*hierarchy.Heap) Result {
 	// lock-free publication buffers into the owner-only views: with the
 	// gate closed, no reader can be mid-publication, so the drained Pinned
 	// and Remset slices are complete.
+	// WaitBeginCollect rather than BeginCollect since CGC: the concurrent
+	// collector's gate flushes briefly close every live heap's gate, and
+	// an LGC racing one must wait the flush out, not panic.
 	for i := len(scope) - 1; i >= 0; i-- {
 		h := scope[i]
-		h.Gate.BeginCollect()
+		h.Gate.WaitBeginCollect()
 		h.DrainBuffers()
+		// Chunks the concurrent sweep queued for allocation reuse are
+		// about to be evacuated or released; they must not linger as
+		// carving targets.
+		h.DrainReusable(nil)
 		r.order = append(r.order, h)
 	}
 	defer func() {
@@ -151,6 +162,7 @@ func (c *Collector) Collect(scope []*hierarchy.Heap) Result {
 	c.Collections.Add(1)
 	c.CopiedWords.Add(r.res.CopiedWords)
 	c.ReclaimedWords.Add(r.res.ReclaimedWords)
+	c.RetainedChunks.Add(int64(r.res.RetainedChunks))
 	return r.res
 }
 
@@ -185,6 +197,17 @@ func (r *run) processRemsets() {
 			if _, internal := r.scope[holderHeap]; internal {
 				// The holder is being collected too; if it survives, the
 				// scan re-derives this entry with the holder's new address.
+				continue
+			}
+			// The concurrent sweep reclaims internal-heap holders in place
+			// (KFree) and may later re-carve the span; an entry whose holder
+			// no longer parses, was freed, or no longer covers the recorded
+			// index is stale and must not be dereferenced.
+			hd := r.c.Space.Header(e.Holder)
+			if !hd.Valid() || hd.Kind() == mem.KFree {
+				continue
+			}
+			if hn := max(hd.Len(), 1); e.Index < 0 || e.Index >= hn {
 				continue
 			}
 			v := r.c.Space.Load(e.Holder, e.Index)

@@ -49,8 +49,11 @@ func CheckHeap(sp *mem.Space, h *hierarchy.Heap, strict bool) error {
 			if !hd.Valid() {
 				return fmt.Errorf("gc: heap %d chunk %d: invalid header %#x at +%d", h.ID, c.ID, uint64(hd), off)
 			}
-			if hd.Kind() > mem.KRaw {
+			if hd.Kind() > mem.KFree {
 				return fmt.Errorf("gc: heap %d chunk %d: unknown kind %d at +%d", h.ID, c.ID, hd.Kind(), off)
+			}
+			if hd.Kind() == mem.KFree && (hd.Pinned() || hd.Busy() || hd.Marked()) {
+				return fmt.Errorf("gc: heap %d chunk %d: free span at +%d carries state bits %#x", h.ID, c.ID, off, uint64(hd))
 			}
 			n := hd.Len()
 			if n < 1 {
@@ -76,6 +79,9 @@ func CheckHeap(sp *mem.Space, h *hierarchy.Heap, strict bool) error {
 			if pc := atomic.LoadInt32(&c.PinCount); pc != pinned {
 				return fmt.Errorf("gc: heap %d chunk %d: PinCount %d but %d pinned headers swept", h.ID, c.ID, pc, pinned)
 			}
+			if c.CGCScoped() {
+				return fmt.Errorf("gc: heap %d chunk %d: mark bitmap left installed at a quiescent point", h.ID, c.ID)
+			}
 		}
 	}
 	for k, e := range h.Remset {
@@ -96,8 +102,13 @@ func checkRemembered(sp *mem.Space, e hierarchy.RememberedEntry) error {
 		return fmt.Errorf("holder %v points into a released chunk", e.Holder)
 	}
 	hd := sp.Header(e.Holder)
-	if !hd.Valid() || hd.Kind() > mem.KRaw {
+	if !hd.Valid() || hd.Kind() > mem.KFree {
 		return fmt.Errorf("holder %v has unparseable header %#x", e.Holder, uint64(hd))
+	}
+	if hd.Kind() == mem.KFree {
+		// The holder was reclaimed in place by the concurrent sweep; the
+		// entry is stale but harmless (collections skip KFree holders).
+		return nil
 	}
 	if hd.Kind() == mem.KForward {
 		return fmt.Errorf("holder %v is a stale forwarding header", e.Holder)

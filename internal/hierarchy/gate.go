@@ -98,6 +98,40 @@ func (g *Gate) BeginCollect() {
 	}
 }
 
+// TryBeginCollect attempts the BeginCollect transition without panicking
+// on contention: it returns false immediately if another collector holds
+// the gate. Used by the concurrent collector (gc.CGC), whose cycles are
+// opportunistic — a heap whose gate is busy (a merge retiring it, say) is
+// simply skipped this cycle. On success it drains announced readers
+// exactly like BeginCollect.
+func (g *Gate) TryBeginCollect() bool {
+	for {
+		s := g.state.Load()
+		if s&gateCollecting != 0 {
+			return false
+		}
+		if g.state.CompareAndSwap(s, s|gateCollecting) {
+			break
+		}
+	}
+	for g.state.Load()&gateReaderMask != 0 {
+		runtime.Gosched()
+	}
+	return true
+}
+
+// WaitBeginCollect acquires the gate like BeginCollect but waits out a
+// concurrent holder instead of panicking. Since CGC, the owner-exclusivity
+// assumption behind BeginCollect's nested-collect panic no longer holds
+// for merges: a join can find the concurrent collector briefly holding the
+// child's or parent's gate (root harvest, sweep), and must wait its
+// bounded critical section out rather than abort.
+func (g *Gate) WaitBeginCollect() {
+	for !g.TryBeginCollect() {
+		runtime.Gosched()
+	}
+}
+
 // EndCollect publishes the next even epoch, re-admitting readers. The
 // single add clears the collecting bit (set by BeginCollect, so the -1
 // cannot borrow) and the carry increments the epoch field; transient

@@ -146,6 +146,18 @@ type Heap struct {
 	// strands snapshot it (they tolerate staleness with a retry loop).
 	dead atomic.Bool
 
+	// cgcStatus is the concurrent-collection status word (see cgc.go):
+	// idle / scoped / sweeping. It coordinates CGC cycles, local
+	// collections, and merges through the collection Gate above rather
+	// than any new lock.
+	cgcStatus atomic.Uint32
+
+	// reuseBuf hands chunks whose free lists the concurrent sweep just
+	// threaded back to the owning task (PushReusable/DrainReusable). Same
+	// publication discipline as pinBuf: pushed under the gate, drained by
+	// the owner.
+	reuseBuf stack[*mem.Chunk]
+
 	// Stats
 	Collections int   // local collections rooted at this heap
 	CopiedWords int64 // words copied by those collections
@@ -437,13 +449,27 @@ func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int, unpin
 	if child.parent != parent {
 		panic("hierarchy: merge of non-child")
 	}
-	// Quiesce slow paths targeting the child: after BeginCollect no reader
-	// can be between validating the child's ownership and publishing a pin.
-	// The reopen is deferred: if anything in the merge body panics (e.g. a
-	// corrupted header surfacing in the unpin loop), readers parked at the
-	// gate must still be released or the unwind would hang them forever.
-	child.Gate.BeginCollect()
+	// No concurrent cycle can hold either heap here: CGC claims only
+	// parked heaps (cgc.go), the child's owner has finished (active), and
+	// the parent's owner is the caller, resumed past CGCResume. Merging
+	// therefore never races a sweep's chunk-list rebuild.
+	// Quiesce slow paths targeting the child: after the gate closes no
+	// reader can be between validating the child's ownership and
+	// publishing a pin. WaitBeginCollect rather than BeginCollect since
+	// CGC: the concurrent collector may briefly hold either gate (root
+	// harvest) and must be waited out, not panicked over. The parent's
+	// gate is now taken too: the chunk-ownership flips and owner-side
+	// appends below must not interleave with a concurrent harvest or
+	// sweep of the parent. Gates are always acquired child-then-parent
+	// while CGC takes one gate at a time, so no cycle is possible.
+	// The reopens are deferred: if anything in the merge body panics
+	// (e.g. a corrupted header surfacing in the unpin loop), readers
+	// parked at the gates must still be released or the unwind would hang
+	// them forever.
+	child.Gate.WaitBeginCollect()
 	defer child.Gate.EndCollect()
+	parent.Gate.WaitBeginCollect()
+	defer parent.Gate.EndCollect()
 	child.DrainBuffers()
 
 	for _, c := range child.Chunks {
@@ -483,6 +509,10 @@ func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int, unpin
 
 	parent.RootSets = append(parent.RootSets, child.RootSets...)
 	child.RootSets = nil
+
+	// Swept chunks with free spans follow their chunks to the parent: the
+	// parent's allocator may carve from them once it drains its buffer.
+	child.reuseBuf.drain(func(c *mem.Chunk) { parent.reuseBuf.push(c) })
 
 	child.dead.Store(true)
 	parent.Collections += child.Collections

@@ -174,6 +174,111 @@ func TestMergeUnpinsAtDepth(t *testing.T) {
 	}
 }
 
+// TestMergeRepinAboveJoin covers the merge's re-pin path deterministically:
+// an entangled reader lowered an object's unpin depth below the join point
+// before the join ran, so the merge must keep the pin and move the entry to
+// the parent's list rather than unpin at the depth the pin was born with.
+func TestMergeRepinAboveJoin(t *testing.T) {
+	tr := New()
+	sp := mem.NewSpace()
+	root := tr.Root()
+	mid := tr.Fork(root) // depth 1
+	leaf := tr.Fork(mid) // depth 2
+
+	al := mem.NewAllocator(sp, leaf.ID)
+	r := al.AllocRef(mem.Int(7))
+	leaf.Chunks = append(leaf.Chunks, al.Chunks...)
+
+	sp.Pin(r, 1) // would unpin at the leaf→mid join...
+	leaf.AddPinned(r)
+	// ...but a reader re-pinned it for an entanglement that only resolves at
+	// the root join, lowering the unpin depth to 0.
+	if st, _ := sp.PinHeader(r, 0); st != mem.PinDepthLowered {
+		t.Fatalf("PinHeader = %v, want PinDepthLowered", st)
+	}
+
+	n, _ := tr.Merge(leaf, mid, sp)
+	if n != 0 {
+		t.Fatalf("unpinned %d objects, want 0 (re-pinned above join)", n)
+	}
+	if !sp.Header(r).Pinned() {
+		t.Fatal("merge revoked a pin re-pinned above the join point")
+	}
+	if len(mid.Pinned) != 1 || mid.Pinned[0] != r {
+		t.Fatalf("re-pinned entry not moved to parent: %v", mid.Pinned)
+	}
+
+	// The root join reaches the lowered depth and finally unpins.
+	if n, _ = tr.Merge(mid, root, sp); n != 1 || sp.Header(r).Pinned() {
+		t.Fatal("root join failed to unpin the re-pinned object")
+	}
+}
+
+// TestMergeRepinRace stresses the snapshot-CAS in the merge's unpin loop: a
+// reader's re-pin landing between the merge's header examination and its
+// TryUnpin must make the CAS fail, so the loop re-examines and keeps the
+// pin — a join can never revoke a pin it has not seen. Whichever side of
+// the race the re-pin lands on, the object must end the merge pinned and
+// accounted for: in the parent's list if the merge saw it, or as a fresh
+// pin (PinNew) the reader itself is responsible for publishing.
+func TestMergeRepinRace(t *testing.T) {
+	const iters = 300
+	for iter := 0; iter < iters; iter++ {
+		tr := New()
+		sp := mem.NewSpace()
+		root := tr.Root()
+		mid := tr.Fork(root) // depth 1
+		leaf := tr.Fork(mid) // depth 2
+
+		// Filler pins around the contended object give the unpin loop a
+		// window for the racing re-pin to land in.
+		al := mem.NewAllocator(sp, leaf.ID)
+		var r mem.Ref
+		for i := 0; i < 33; i++ {
+			p := al.AllocRef(mem.Int(int64(i)))
+			sp.Pin(p, 1)
+			leaf.AddPinned(p)
+			if i == 16 {
+				r = p
+			}
+		}
+		leaf.Chunks = append(leaf.Chunks, al.Chunks...)
+
+		var st mem.PinStatus
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			st, _ = sp.PinHeader(r, 0) // entangled reader re-pins mid-join
+		}()
+		tr.Merge(leaf, mid, sp)
+		<-done
+
+		if !sp.Header(r).Pinned() {
+			t.Fatalf("iter %d: pin revoked unseen (status %v)", iter, st)
+		}
+		inParent := false
+		for _, p := range mid.Pinned {
+			if p == r {
+				inParent = true
+			}
+		}
+		switch st {
+		case mem.PinDepthLowered:
+			// The merge observed the lowered depth (directly or after a
+			// failed TryUnpin) and must have moved the entry up.
+			if !inParent {
+				t.Fatalf("iter %d: re-pinned object missing from parent's pinned list", iter)
+			}
+		case mem.PinNew:
+			// The re-pin landed after a completed unpin; the reader knows it
+			// created the pin and publishes it itself, so the merge owes
+			// nothing.
+		default:
+			t.Fatalf("iter %d: unexpected pin status %v", iter, st)
+		}
+	}
+}
+
 func TestMergeNonChildPanics(t *testing.T) {
 	tr := New()
 	sp := mem.NewSpace()

@@ -1,5 +1,7 @@
 package mem
 
+import "sync/atomic"
+
 // Allocator is a per-task bump allocator into chunks owned by one heap of
 // the hierarchy. Because each task allocates only into its own leaf heap,
 // allocation requires no synchronization beyond acquiring fresh chunks from
@@ -14,6 +16,11 @@ type Allocator struct {
 	Chunks []*Chunk
 	// AllocWords counts words allocated through this allocator.
 	AllocWords int64
+	// reuse lists chunks the concurrent sweep left with threaded free
+	// spans (gc/cgc.go). They already belong to the heap — they are not
+	// appended to Chunks — and new objects are carved out of their spans
+	// before fresh chunks are requested.
+	reuse []*Chunk
 }
 
 // NewAllocator creates an allocator feeding the given heap.
@@ -31,6 +38,7 @@ func (a *Allocator) Retarget(heap uint32) {
 	a.heap = heap
 	a.cur = nil
 	a.Chunks = nil
+	a.reuse = nil
 }
 
 // Alloc allocates an object with the given kind and payload length (words)
@@ -45,6 +53,9 @@ func (a *Allocator) Alloc(k Kind, payloadWords int) Ref {
 	total := n + 1
 	c := a.cur
 	if c == nil || c.Alloc+total > len(c.Data) {
+		if r, ok := a.allocFromFree(k, payloadWords, total); ok {
+			return r
+		}
 		c = a.space.NewChunk(a.heap, total)
 		a.cur = c
 		a.Chunks = append(a.Chunks, c)
@@ -55,6 +66,105 @@ func (a *Allocator) Alloc(k Kind, payloadWords int) Ref {
 	a.AllocWords += int64(total)
 	a.space.totalAlloc.Add(int64(total))
 	return MakeRef(c.ID, off)
+}
+
+// AddReusable hands the allocator a chunk whose free list was threaded by
+// the concurrent sweep. The chunk must already belong to this allocator's
+// heap; chunks without free spans are ignored. A chunk re-swept across
+// cycles can be handed back repeatedly, so entries are deduplicated — two
+// entries would walk the same free list.
+//
+// The ownership test MUST come first: a buffered chunk a later sweep
+// released may already be recycled into another heap, whose scrub writes
+// the plain freeHead field concurrently. The atomic heap-id test
+// short-circuits that case, and a positive result proves no release
+// intervened (releases of this heap's chunks happen only while its owner
+// is parked), making the freeHead read single-owner again.
+func (a *Allocator) AddReusable(c *Chunk) {
+	if c.HeapID() != a.heap || c.freeHead == 0 {
+		return
+	}
+	for _, e := range a.reuse {
+		if e == c {
+			return
+		}
+	}
+	a.reuse = append(a.reuse, c)
+}
+
+// Revalidate drops allocation targets a concurrent sweep may have
+// invalidated: the current bump chunk, if released back to the space (it
+// was fully dead), and reuse entries released or exhausted. Called by the
+// owner on resume from a join, before any allocation — while the owner was
+// parked the sweep was free to release any of its heap's chunks, and a
+// released chunk's id may already be recycled into another heap. At the
+// resume point a released chunk can never carry this heap's id again (the
+// only path back is a merge this owner has not run yet), so the ownership
+// test is exact.
+func (a *Allocator) Revalidate() {
+	if a.cur != nil && a.cur.HeapID() != a.heap {
+		a.cur = nil
+	}
+	kept := a.reuse[:0]
+	for _, c := range a.reuse {
+		// Ownership first, for the same reason as AddReusable: a released
+		// entry's freeHead may be getting scrubbed by its next owner.
+		if c.HeapID() == a.heap && c.freeHead != 0 {
+			kept = append(kept, c)
+		}
+	}
+	a.reuse = kept
+}
+
+// allocFromFree serves an allocation from swept free spans, first fit. A
+// span is used only when it matches exactly or leaves a remainder of at
+// least two words (header + link), so header lengths always describe real
+// payloads — padding would corrupt the dense chunk walk. Object header and
+// payload are written atomically: stale readers retrying an entanglement
+// validation may still load these words.
+func (a *Allocator) allocFromFree(k Kind, payloadWords, total int) (Ref, bool) {
+	for ci := 0; ci < len(a.reuse); ci++ {
+		c := a.reuse[ci]
+		prev := 0 // 0 = list head, else 1 + offset of predecessor span
+		for cur := c.freeHead; cur != 0; {
+			off := cur - 1
+			spanLen := Header(atomic.LoadUint64(&c.Data[off])).Len()
+			spanTotal := 1 + spanLen
+			next := int(atomic.LoadUint64(&c.Data[off+1]))
+			rest := spanTotal - total
+			if rest != 0 && rest < 2 {
+				prev, cur = cur, next
+				continue
+			}
+			link := next
+			if rest != 0 {
+				// Split: the tail keeps the span's place in the list.
+				tail := off + total
+				atomic.StoreUint64(&c.Data[tail+1], uint64(next))
+				atomic.StoreUint64(&c.Data[tail], MakeHeader(KFree, rest-1))
+				link = tail + 1
+			}
+			if prev == 0 {
+				c.freeHead = link
+			} else {
+				atomic.StoreUint64(&c.Data[prev], uint64(link))
+			}
+			c.freeWords -= total
+			n := total - 1
+			for w := off + 1; w < off+1+n; w++ {
+				atomic.StoreUint64(&c.Data[w], 0)
+			}
+			atomic.StoreUint64(&c.Data[off], MakeHeader(k, payloadWords))
+			a.AllocWords += int64(total)
+			a.space.totalAlloc.Add(int64(total))
+			if c.freeHead == 0 {
+				a.reuse[ci] = a.reuse[len(a.reuse)-1]
+				a.reuse = a.reuse[:len(a.reuse)-1]
+			}
+			return MakeRef(c.ID, off), true
+		}
+	}
+	return Ref(0), false
 }
 
 // AllocTuple allocates an immutable tuple initialized with vs.

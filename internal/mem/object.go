@@ -25,6 +25,13 @@ const (
 	// KRaw is an immutable blob of untagged words (string/byte data).
 	// The collectors do not scan raw payloads.
 	KRaw
+	// KFree marks a dead run of words reclaimed in place by the concurrent
+	// collector's sweep (gc/cgc.go). The header length spans the whole run,
+	// so chunk walks skip it like any object; the first payload word threads
+	// the chunk's free list (1 + offset of the next free span, 0 = end).
+	// Free spans are never candidates, pinned, or scanned, and the
+	// allocator may carve new objects out of them (Allocator.AddReusable).
+	KFree
 )
 
 func (k Kind) String() string {
@@ -39,6 +46,8 @@ func (k Kind) String() string {
 		return "ref"
 	case KRaw:
 		return "raw"
+	case KFree:
+		return "free"
 	}
 	return "invalid"
 }

@@ -48,6 +48,26 @@ type Chunk struct {
 	PinCount int32
 
 	heapID atomic.Uint32
+
+	// marks is the side mark bitmap installed by a concurrent collection
+	// cycle for its snapshot chunks and dropped when the cycle ends. The
+	// pointer doubles as the mutator-visible "in CGC scope" test (one
+	// atomic load in the SATB shade path); the bits themselves are only
+	// ever touched by the single CGC worker, so they need no atomics.
+	// The header mark bit (hdrMark) stays reserved for LGC's transient
+	// pinned-trace marking — the strict invariant audit rejects leftovers,
+	// which a concurrent cycle could not guarantee.
+	marks atomic.Pointer[markBitmap]
+
+	// freeHead is 1 + the word offset of the first KFree span threaded
+	// through this chunk by the CGC sweep (0 = no free list), and
+	// freeWords counts the words those spans cover. Mutated only by the
+	// sweep (with the owner parked and the heap gate held) and by the
+	// owning allocator after the chunk is handed back through the heap's
+	// reuse buffer, so plain fields suffice: the handoff's atomics order
+	// them.
+	freeHead  int
+	freeWords int
 }
 
 // HeapID returns the id of the heap currently owning this chunk.
@@ -131,9 +151,7 @@ func (s *Space) NewChunk(heap uint32, minWords int) *Chunk {
 	if words == ChunkWords && len(s.free) > 0 {
 		c = s.free[len(s.free)-1]
 		s.free = s.free[:len(s.free)-1]
-		clear(c.Data)
-		c.Alloc = 0
-		c.PinCount = 0
+		s.scrub(c)
 	} else {
 		if s.next >= maxChunks {
 			s.mu.Unlock()
@@ -162,6 +180,27 @@ func (s *Space) NewChunk(heap uint32, minWords int) *Chunk {
 	return c
 }
 
+// scrub prepares a recycled chunk for reuse. The data words are cleared
+// with atomic stores, not clear(): a stale reader — an entanglement slow
+// path that resolved a reference just before the collector released the
+// chunk, or a concurrent-collection worker holding a stale grey — may
+// still issue atomic loads against c.Data, and a plain memclr racing
+// those loads is a genuine data race (the reader then re-validates and
+// retries, so any value it sees is fine; the ordering is not). Words
+// beyond c.Alloc are already zero: fresh chunks are zeroed by make, the
+// bump allocator never writes past Alloc, and every scrub reestablishes
+// the invariant. Caller holds s.mu.
+func (s *Space) scrub(c *Chunk) {
+	for i := 0; i < c.Alloc; i++ {
+		atomic.StoreUint64(&c.Data[i], 0)
+	}
+	c.Alloc = 0
+	atomic.StoreInt32(&c.PinCount, 0)
+	c.marks.Store(nil)
+	c.freeHead = 0
+	c.freeWords = 0
+}
+
 // Release returns a chunk to the space. Standard-size chunks are recycled;
 // oversize chunks are dropped (their backing arrays return to Go).
 // Releasing a chunk holding pinned objects is a bug in the collector.
@@ -171,6 +210,9 @@ func (s *Space) Release(c *Chunk) {
 	}
 	s.liveWords.Add(int64(-len(c.Data)))
 	c.SetHeapID(0)
+	c.marks.Store(nil)
+	c.freeHead = 0
+	c.freeWords = 0
 	if len(c.Data) != ChunkWords {
 		return
 	}

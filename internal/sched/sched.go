@@ -68,6 +68,14 @@ type Pool struct {
 	// the right branch, forcing steals — and hence heap materialization
 	// and entangled joins — that an unloaded run would rarely perform.
 	Chaos *chaos.Injector
+
+	// Aux, when set, runs as a dedicated auxiliary goroutine alongside the
+	// stealing workers for the duration of each Run — the concurrent
+	// collector's worker. It is not a Worker: it never steals mutator
+	// items, so collection latency cannot be hidden behind a borrowed
+	// mutator slot. It must poll stop and return promptly once it reports
+	// true; Run's shutdown waits for it like any worker.
+	Aux func(stop func() bool)
 }
 
 // NewPool creates a pool with p workers. The seed makes victim selection
@@ -121,6 +129,13 @@ func (p *Pool) Run(root func(*Worker)) {
 			defer p.wg.Done()
 			w.stealLoop()
 		}(w)
+	}
+	if p.Aux != nil {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.Aux(func() bool { return p.done.Load() })
+		}()
 	}
 	defer func() {
 		p.done.Store(true)

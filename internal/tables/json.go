@@ -26,6 +26,15 @@ type BenchEntry struct {
 	EntReads        int64 `json:"ent_reads"`
 	Pins            int64 `json:"pins"`
 	PinnedPeakBytes int64 `json:"pinned_peak_bytes"`
+
+	// Space trajectory of the T1 run: pin-retained chunks, max residency in
+	// words, and completed concurrent-collection cycles (zero unless the run
+	// enabled the concurrent collector). Never gated on — CompareBenchReports
+	// gates only the overhead ratio — but tracked so space regressions are
+	// visible in the BENCH_*.json diffs.
+	RetainedChunks int64 `json:"retained_chunks"`
+	LiveWords      int64 `json:"live_words"`
+	CGCCycles      int64 `json:"cgc_cycles"`
 }
 
 // BenchReport is the top-level JSON document written beside the tables so
@@ -60,6 +69,9 @@ func WriteBenchJSON(rows []TimeRow, timestamp string, scale int, path string) er
 			EntReads:        r.EntReads,
 			Pins:            r.Pins,
 			PinnedPeakBytes: r.PinnedPeakBytes,
+			RetainedChunks:  r.RetainedChunks,
+			LiveWords:       r.LiveWords,
+			CGCCycles:       r.CGCCycles,
 		})
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -95,6 +95,15 @@ type TimeRow struct {
 	EntReads        int64 // entangled reads
 	Pins            int64 // objects newly pinned
 	PinnedPeakBytes int64 // high-water mark of pinned bytes
+
+	// Memory-retention counters of the T1 run, so the perf trajectory
+	// tracks space behavior alongside time: chunks the local collector kept
+	// alive only for their pinned objects, the run's max residency, and
+	// completed concurrent-collection cycles (zero unless the run enables
+	// Config.CGC).
+	RetainedChunks int64 // pin-retained chunks (LGC)
+	LiveWords      int64 // max residency of the T1 run, in words
+	CGCCycles      int64 // completed concurrent cycles
 }
 
 // timeReps is how many times TimeTable measures each configuration,
@@ -129,6 +138,7 @@ func TimeTable(sizes map[string]int, w io.Writer) []TimeRow {
 		}
 		t64 := scale(t1, rt.Trace(), MaxP)
 		es := rt.EntStats()
+		cycles, _, _, _, _ := rt.CGCStats()
 		row := TimeRow{
 			Name: b.Name, Entangled: b.Entangled,
 			Tseq: tseq, T1: t1, T64: t64,
@@ -137,6 +147,9 @@ func TimeTable(sizes map[string]int, w io.Writer) []TimeRow {
 			EntReads:        es.EntangledReads,
 			Pins:            es.Pins,
 			PinnedPeakBytes: es.PinnedPeakBytes,
+			RetainedChunks:  rt.RetainedChunks(),
+			LiveWords:       rt.MaxLiveWords(),
+			CGCCycles:       cycles,
 		}
 		rows = append(rows, row)
 		fmt.Fprintf(w, "%-10s %5v %10s %10s %10s %8.2fx %8.2fx\n",
