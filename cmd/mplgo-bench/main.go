@@ -10,7 +10,10 @@
 //	mplgo-bench -exp entangle   # T4: entanglement cost metrics
 //	mplgo-bench -exp ablate     # F2: barrier-mode ablation
 //	mplgo-bench -exp spacecurve # F3: residency vs processors
-//	mplgo-bench -exp all        # everything, in order
+//	mplgo-bench -exp all        # everything above, in order
+//	mplgo-bench -exp trace      # traced run → Chrome trace_event JSON
+//	                            # (-trace <file>, -tracebench, -traceprocs;
+//	                            #  never part of "all" — tracing is untimed)
 //
 // -scale divides every benchmark's default problem size (e.g. -scale 4
 // runs quarter-size problems for a quick look).
@@ -38,8 +41,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: time|space|speedup|lang|entangle|ablate|spacecurve|stw|all")
+	exp := flag.String("exp", "all", "experiment: time|space|speedup|lang|entangle|ablate|spacecurve|stw|trace|all")
 	scale := flag.Int("scale", 1, "divide default problem sizes by this factor")
+	tracePath := flag.String("trace", "trace.json",
+		"output path for -exp trace (Chrome trace_event JSON; '-' for stdout)")
+	traceBench := flag.String("tracebench", "pipeline", "benchmark -exp trace runs")
+	traceProcs := flag.Int("traceprocs", 4, "worker count for -exp trace")
 	jsonOut := flag.String("json", "auto",
 		"T1 JSON report path; 'auto' names it BENCH_<timestamp>.json, 'off' disables")
 	baseline := flag.String("baseline", "",
@@ -119,8 +126,18 @@ func main() {
 	run("spacecurve", func() { tables.SpaceFigure(sizes, w) })
 	run("stw", func() { tables.STWTable(sizes, w) })
 
+	// The trace experiment is opt-in only (never part of "all"): it is
+	// untimed, writes a trace file, and exists for cmd/mplgo-trace and
+	// Perfetto, not for the tables.
+	if *exp == "trace" {
+		if _, err := tables.TraceRun(*traceBench, sizes, *traceProcs, w, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	switch *exp {
-	case "time", "space", "speedup", "lang", "entangle", "ablate", "spacecurve", "stw", "all":
+	case "time", "space", "speedup", "lang", "entangle", "ablate", "spacecurve", "stw", "trace", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -17,14 +17,23 @@
 // footprint to be bounded (roughly the live table plus one round's slack)
 // while the "off" footprint grows with the round count.
 //
-//	go run ./examples/server [-rounds N] [-entries N] [-work N]
+// With -listen the CGC-on run additionally serves live telemetry — the
+// /metrics counters, the /debug/heaptree hierarchy snapshot, and Go's
+// /debug/pprof profiles (task strands are labelled mplgo_worker /
+// mplgo_aux) — so the collector can be watched from a browser or scraped
+// while the rounds proceed.
+//
+//	go run ./examples/server [-rounds N] [-entries N] [-work N] [-listen :8080]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 
+	"mplgo/internal/telemetry"
 	"mplgo/mpl"
 )
 
@@ -32,6 +41,7 @@ func main() {
 	rounds := flag.Int("rounds", 300, "requests to serve (fork-join rounds)")
 	entries := flag.Int("entries", 64, "live entries in the long-lived table")
 	work := flag.Int("work", 4000, "allocations per worker per request")
+	listen := flag.String("listen", "", "serve /metrics, /debug/heaptree and /debug/pprof here during the CGC-on run (e.g. :8080)")
 	flag.Parse()
 
 	run := func(cgc bool) *mpl.Runtime {
@@ -41,6 +51,21 @@ func main() {
 			cfg.CGCThresholdWords = 1 << 16
 		}
 		rt := mpl.New(cfg)
+		if cgc && *listen != "" {
+			mux := http.NewServeMux()
+			telemetry.Register(mux, rt)
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			go func() {
+				log.Printf("telemetry listening on %s (/metrics, /debug/heaptree, /debug/pprof)", *listen)
+				if err := http.ListenAndServe(*listen, mux); err != nil {
+					log.Printf("telemetry server: %v", err)
+				}
+			}()
+		}
 		if _, err := rt.Run(func(t *mpl.Task) mpl.Value {
 			return serve(t, *rounds, *entries, *work)
 		}); err != nil {

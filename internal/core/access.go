@@ -1,6 +1,9 @@
 package core
 
-import "mplgo/internal/mem"
+import (
+	"mplgo/internal/mem"
+	"mplgo/internal/trace"
+)
 
 // Allocation. Every allocating call may trigger a local collection first;
 // reference arguments to these calls are protected automatically (they are
@@ -23,7 +26,15 @@ func (t *Task) guardedGC(vs []mem.Value) {
 		// on exactly this task), and adopt chunks the concurrent sweep
 		// left with threaded free spans for this heap.
 		t.cgcSafepoint()
-		t.heap.DrainReusable(t.alloc.AddReusable)
+		if r := t.w.Ring; r != nil && trace.Enabled() {
+			d := int32(t.heap.Depth())
+			t.heap.DrainReusable(func(c *mem.Chunk) {
+				r.Emit(trace.EvChunkReuse, d, uint64(c.ID), uint64(c.FreeWordCount()))
+				t.alloc.AddReusable(c)
+			})
+		} else {
+			t.heap.DrainReusable(t.alloc.AddReusable)
+		}
 	}
 	over := t.overHeapLimit()
 	if !over && !t.needGC() {

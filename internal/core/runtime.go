@@ -29,6 +29,7 @@ import (
 	"mplgo/internal/mem"
 	"mplgo/internal/sched"
 	"mplgo/internal/sim"
+	"mplgo/internal/trace"
 )
 
 // ErrCancelled is returned by Run when the computation was aborted via
@@ -108,6 +109,13 @@ type Config struct {
 	// CGCThresholdWords is the trigger floor: the collector worker starts
 	// a cycle only while total residency exceeds it. Default 1<<15.
 	CGCThresholdWords int64
+	// Tracer, when non-nil, installs per-worker event rings (package
+	// trace): each scheduler worker and each task heap gets the ring of
+	// the strand running it, and the concurrent collector gets the
+	// tracer's extra ring. Installing a tracer does not start tracing —
+	// events flow only while trace.Enable is in effect — and timing runs
+	// leave Tracer nil so every instrumentation site stays a nil test.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -171,10 +179,16 @@ func New(cfg Config) *Runtime {
 		r.tree.SetChaos(r.chaos)
 		r.pool.Chaos = r.chaos
 	}
+	if cfg.Tracer != nil {
+		for i, w := range r.pool.Workers() {
+			w.Ring = cfg.Tracer.Ring(i)
+		}
+	}
 	if cfg.CGC {
 		// After the chaos block: the collector inherits the injector so
 		// the CGCMark/CGCSweep/CGCShade points fire in chaos runs.
 		r.cgc = gc.NewCGC(r.space, r.tree, r.chaos)
+		r.cgc.Ring = cfg.Tracer.CollectorRing()
 		r.ent.SATB = r.cgc
 		r.cgcTasks = make(map[*Task]struct{})
 		r.pool.Aux = r.cgcLoop
@@ -297,6 +311,10 @@ func (r *Runtime) GCStats() (collections, copiedWords, reclaimedWords int64) {
 
 // Trace returns the recorded DAG, or nil if recording was off.
 func (r *Runtime) Trace() *sim.Node { return r.trace }
+
+// Tracer returns the event tracer installed via Config.Tracer (nil when
+// untraced).
+func (r *Runtime) Tracer() *trace.Tracer { return r.cfg.Tracer }
 
 // Steals reports total scheduler steals.
 func (r *Runtime) Steals() int64 { return r.pool.TotalSteals() }

@@ -10,6 +10,7 @@ import (
 	"mplgo/internal/mem"
 	"mplgo/internal/sched"
 	"mplgo/internal/sim"
+	"mplgo/internal/trace"
 )
 
 // Task is a strand of the fork–join computation. Tasks are not safe for
@@ -76,6 +77,11 @@ func (r *Runtime) newTask(w *sched.Worker, h *hierarchy.Heap, node *sim.Node) *T
 		t.cgcOn = true
 		r.cgcRegister(t)
 	}
+	// The heap is executed by this worker's strand from here until its
+	// join, so the worker's ring is the heap's single-writer event ring
+	// (nil when untraced). Heap-side instrumentation (merge, unpin,
+	// entanglement slow paths hit through this leaf) emits into it.
+	h.TraceRing = w.Ring
 	h.AddRootSet(t)
 	return t
 }
@@ -184,7 +190,15 @@ func (t *Task) collectNow() bool {
 		}
 		defer t.rt.cgcExcl.RUnlock()
 	}
+	ring := t.w.Ring
+	d := int32(t.heap.Depth())
+	ring.Emit(trace.EvLGCBegin, d, uint64(t.heap.ID), 0)
 	res := t.rt.col.Collect([]*hierarchy.Heap{t.heap})
+	ring.Emit(trace.EvLGCEnd, d, uint64(res.CopiedWords), uint64(res.ReclaimedWords))
+	if ring != nil && trace.Enabled() {
+		ring.Emit(trace.EvCounter, d, uint64(trace.CtrLiveWords), uint64(t.rt.space.LiveWords()))
+		ring.Emit(trace.EvCounter, d, uint64(trace.CtrRetainedChunks), uint64(t.rt.col.RetainedChunks.Load()))
+	}
 	t.alloc.Retarget(t.heap.ID)
 	t.Work(res.CopiedWords * costGCWord)
 	t.sinceGC = 0
@@ -232,6 +246,9 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 		saved := t.node
 		t.heap.PendingForks.Add(1)
 		defer t.heap.PendingForks.Add(-1)
+		// Child heap ids are unknown at a lazy fork (heaps materialize at
+		// steals), so the fork event carries none.
+		t.w.Ring.Emit(trace.EvFork, int32(t.heap.Depth()), 0, 0)
 		t.w.ForkJoin(
 			func(w *sched.Worker) {
 				t.node = lnode
@@ -257,9 +274,11 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 		if rheap != nil {
 			t.rt.ent.OnJoin(rheap, t.heap)
 		}
+		t.w.Ring.Emit(trace.EvJoin, int32(t.heap.Depth()), uint64(t.heap.ID), 0)
 	} else {
 		lheap := t.rt.tree.Fork(t.heap)
 		rheap := t.rt.tree.Fork(t.heap)
+		t.w.Ring.Emit(trace.EvFork, int32(t.heap.Depth()), uint64(lheap.ID), uint64(rheap.ID))
 		// Park for the concurrent collector: from here to the unpark this
 		// task runs no code of its own (the branches run as fresh tasks,
 		// even on this worker), so its frames are stable and the collector
@@ -297,6 +316,7 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 		}
 		t.rt.ent.OnJoin(lheap, t.heap)
 		t.rt.ent.OnJoin(rheap, t.heap)
+		t.w.Ring.Emit(trace.EvJoin, int32(t.heap.Depth()), uint64(t.heap.ID), 0)
 	}
 	if anode != nil {
 		t.node = anode

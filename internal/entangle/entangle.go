@@ -39,6 +39,7 @@ import (
 	"mplgo/internal/gc"
 	"mplgo/internal/hierarchy"
 	"mplgo/internal/mem"
+	"mplgo/internal/trace"
 )
 
 // Mode selects how the runtime responds to entanglement.
@@ -104,15 +105,29 @@ type Stats struct {
 // so the gauge is their difference — one less atomic on the pin path.
 func (s *Stats) PinnedNow() int64 { return s.Pins.Load() - s.Unpins.Load() }
 
-// The pinned gauges only decrease at joins (merges unpin; collections
-// trace pinned objects in place), so PinnedNow/PinnedBytesNow rise
-// monotonically between joins. That lets the pin path use a plain atomic
-// add and defer high-water-mark capture to the points where the gauges are
-// about to drop (OnJoin) or be read (Snapshot) — instead of a CAS loop on
-// a shared peak cell per pin.
+// pinnedBytes adjusts the pinned-bytes gauge (negative deltas at joins).
 func (s *Stats) pinnedBytes(delta int64) { s.PinnedBytesNow.Add(delta) }
 
-// capturePeaks folds the current gauge values into the high-water marks.
+// pinned records one new pin of an object occupying the given bytes, and
+// folds both gauges into their high-water marks at the pin site itself.
+//
+// Peaks must be captured here, not deferred to the joins where the gauges
+// fall: joins run concurrently with pins, so a deferred capture can read
+// the gauge after a racing join's decrement and miss the true maximum
+// entirely (in the worst case every capture lands post-decrement and the
+// reported peak is zero while real pins were live). Capturing from the
+// atomic Add's return value can never over-report either — the value
+// pins - Unpins.Load() is at most the instantaneous gauge, because Unpins
+// only grows. peakMax is a CAS loop, so concurrent pin sites fold their
+// candidates in without losing updates.
+func (s *Stats) pinned(bytes int64) {
+	pins := s.Pins.Add(1)
+	peakMax(&s.PinnedPeak, pins-s.Unpins.Load())
+	peakMax(&s.PinnedBytesPeak, s.PinnedBytesNow.Add(bytes))
+}
+
+// capturePeaks folds the current gauge values into the high-water marks;
+// a Snapshot-time backstop (the pin sites already capture every maximum).
 func (s *Stats) capturePeaks() {
 	peakMax(&s.PinnedPeak, s.PinnedNow())
 	peakMax(&s.PinnedBytesPeak, s.PinnedBytesNow.Load())
@@ -265,7 +280,7 @@ func (m *Manager) OnWrite(leaf *hierarchy.Heap, o mem.Ref, i int, x mem.Ref) err
 		if u := m.Tree.LCA(leaf, xh).Depth(); u < unpin {
 			unpin = u
 		}
-		m.pinEntangled(x, unpin)
+		m.pinEntangled(leaf, x, unpin)
 		if m.Mode == Detect {
 			return fmt.Errorf("write into concurrent object %v: %w", o, ErrEntangled)
 		}
@@ -311,6 +326,7 @@ func (m *Manager) publishRemembered(oh, xh *hierarchy.Heap, o mem.Ref, i int, x 
 // field validation and a single pin CAS.
 func (m *Manager) OnRead(leaf *hierarchy.Heap, o mem.Ref, i int, v mem.Value) (mem.Value, error) {
 	m.Stats.SlowReads.Add(1)
+	leaf.TraceRing.Emit(trace.EvSlowRead, int32(leaf.Depth()), uint64(o), 0)
 	for {
 		x := v.Ref()
 		xh := m.heapOf(x)
@@ -346,6 +362,7 @@ func (m *Manager) OnRead(leaf *hierarchy.Heap, o mem.Ref, i int, v mem.Value) (m
 			// The object therefore cannot move or be reclaimed: no gate,
 			// no CAS, no publication needed.
 			m.Stats.EntangledReads.Add(1)
+			leaf.TraceRing.Emit(trace.EvEntangledRead, int32(leaf.Depth()), uint64(x), uint64(unpin))
 			if m.Mode == Detect {
 				return v, fmt.Errorf("read of concurrent object %v: %w", x, ErrEntangled)
 			}
@@ -385,11 +402,12 @@ func (m *Manager) OnRead(leaf *hierarchy.Heap, o mem.Ref, i int, v mem.Value) (m
 			continue
 		}
 		if st == mem.PinNew {
-			m.Stats.Pins.Add(1)
-			m.Stats.pinnedBytes(int64(h.Len()+1) * 8)
+			m.Stats.pinned(int64(h.Len()+1) * 8)
 			xh.AddPinned(x)
+			leaf.TraceRing.Emit(trace.EvPin, int32(leaf.Depth()), uint64(x), uint64(unpin))
 		}
 		m.Stats.EntangledReads.Add(1)
+		leaf.TraceRing.Emit(trace.EvEntangledRead, int32(leaf.Depth()), uint64(x), uint64(unpin))
 		// Mark the acquired object so our reads *through* it also take
 		// the slow path; anything it leads to is concurrent with us.
 		if m.Space.SetCandidate(x) {
@@ -405,8 +423,9 @@ func (m *Manager) OnRead(leaf *hierarchy.Heap, o mem.Ref, i int, v mem.Value) (m
 
 // pinEntangled pins x at the given unpin depth on the entangled-write
 // path, retrying across heap merges. Lock-free: gate entry, ownership
-// check, one CAS.
-func (m *Manager) pinEntangled(x mem.Ref, unpin int) {
+// check, one CAS. leaf (the writer's own heap) is only for event
+// attribution — its ring belongs to the strand running this barrier.
+func (m *Manager) pinEntangled(leaf *hierarchy.Heap, x mem.Ref, unpin int) {
 	for {
 		xh := m.heapOf(x)
 		if xh == nil || xh.Dead() {
@@ -429,9 +448,9 @@ func (m *Manager) pinEntangled(x mem.Ref, unpin int) {
 			continue
 		}
 		if st == mem.PinNew {
-			m.Stats.Pins.Add(1)
-			m.Stats.pinnedBytes(int64(h.Len()+1) * 8)
+			m.Stats.pinned(int64(h.Len()+1) * 8)
 			xh.AddPinned(x)
+			leaf.TraceRing.Emit(trace.EvPin, int32(leaf.Depth()), uint64(x), uint64(unpin))
 		}
 		if m.Space.SetCandidate(x) {
 			m.Stats.Candidates.Add(1)
@@ -441,14 +460,22 @@ func (m *Manager) pinEntangled(x mem.Ref, unpin int) {
 	}
 }
 
-// OnJoin merges child into parent and records unpin statistics. The peaks
-// are captured first: the gauges only fall at joins, so their values here
-// are local maxima.
+// OnJoin merges child into parent and records unpin statistics. (Peak
+// capture happens at the pin sites — see Stats.pinned — so nothing is
+// captured here.)
 func (m *Manager) OnJoin(child, parent *hierarchy.Heap) {
-	m.Stats.capturePeaks()
 	n, words := m.Tree.Merge(child, parent, m.Space)
 	if n > 0 {
 		m.Stats.Unpins.Add(int64(n))
 		m.Stats.pinnedBytes(-words * 8)
+	}
+	if r := parent.TraceRing; r != nil && trace.Enabled() {
+		now := m.Stats.PinnedBytesNow.Load()
+		if now < 0 {
+			now = 0 // racing decrements can transiently undershoot
+		}
+		d := int32(parent.Depth())
+		r.Emit(trace.EvCounter, d, uint64(trace.CtrPinnedBytes), uint64(now))
+		r.Emit(trace.EvCounter, d, uint64(trace.CtrPinnedPeakBytes), uint64(m.Stats.PinnedBytesPeak.Load()))
 	}
 }

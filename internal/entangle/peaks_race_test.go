@@ -1,0 +1,72 @@
+package entangle
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPinnedPeakConcurrent is the regression test for peak capture racing
+// concurrent decrements. The old scheme deferred high-water-mark capture
+// to the joins (where the gauges fall) and to Snapshot; pins that were
+// live only between two captures were invisible, and in the worst
+// schedule every capture ran after a racing unpin's decrement, reporting
+// a peak of zero while real pins were live. Capture now happens at the
+// pin site from the atomic Add's return value, so a fully pinned phase
+// must be reflected in the peak exactly.
+func TestPinnedPeakConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2000
+		objBytes   = 8
+	)
+	var s Stats
+
+	// Phase 1: concurrent pins only. The gauge rises monotonically to the
+	// total, and some pin's Add return value IS that total, so the peak
+	// must equal it exactly — any shortfall means a capture was lost.
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.pinned(objBytes)
+			}
+		}()
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if got := s.PinnedPeak.Load(); got != total {
+		t.Fatalf("PinnedPeak = %d, want %d", got, total)
+	}
+	if got := s.PinnedBytesPeak.Load(); got != total*objBytes {
+		t.Fatalf("PinnedBytesPeak = %d, want %d", got, total*objBytes)
+	}
+
+	// Phase 2: pins racing unpins (the schedule that broke deferred
+	// capture). Every pin is immediately undone, so under the old scheme
+	// a capture could always land post-decrement; the pin-site capture
+	// must still see every pin live, so the peaks can only grow.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.pinned(objBytes)
+				s.Unpins.Add(1)
+				s.pinnedBytes(-objBytes)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.PinnedPeak < total {
+		t.Fatalf("peak shrank under racing unpins: %d < %d", snap.PinnedPeak, total)
+	}
+	if snap.PinnedPeakBytes < total*objBytes {
+		t.Fatalf("byte peak shrank under racing unpins: %d < %d", snap.PinnedPeakBytes, total*objBytes)
+	}
+	if snap.Pins != 2*total || snap.Unpins != total {
+		t.Fatalf("counters: pins=%d unpins=%d", snap.Pins, snap.Unpins)
+	}
+}

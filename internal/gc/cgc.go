@@ -73,6 +73,7 @@ import (
 	"mplgo/internal/chaos"
 	"mplgo/internal/hierarchy"
 	"mplgo/internal/mem"
+	"mplgo/internal/trace"
 )
 
 // CGC phases, exposed to the write barrier through Marking().
@@ -146,6 +147,11 @@ type CGC struct {
 	Space *mem.Space
 	Tree  *hierarchy.Tree
 	Chaos *chaos.Injector
+
+	// Ring is the collector's event ring (the tracer's extra ring at index
+	// P; nil in untraced runtimes). Only the collector goroutine — the one
+	// running RunCycle — writes to it.
+	Ring *trace.Ring
 
 	phase atomic.Uint32
 	epoch atomic.Uint64
@@ -256,7 +262,9 @@ func (g *CGC) RunCycle(hs Handshaker, stop func() bool) CGCResult {
 	}
 	res.ScopeHeaps = len(scope)
 	g.visited = make(map[mem.Ref]struct{}, 256)
+	g.Ring.Emit(trace.EvCGCCycleBegin, 0, uint64(len(scope)), 0)
 
+	inMark := false
 	abandon := func() CGCResult {
 		g.phase.Store(cgcIdle)
 		for _, h := range scope {
@@ -270,6 +278,10 @@ func (g *CGC) RunCycle(hs Handshaker, stop func() bool) CGCResult {
 		g.visited = nil
 		res.Aborted = true
 		g.AbortedCycles.Add(1)
+		if inMark {
+			g.Ring.Emit(trace.EvCGCMarkEnd, 0, 0, 0)
+		}
+		g.Ring.Emit(trace.EvCGCCycleEnd, 0, 0, 1)
 		return res
 	}
 
@@ -324,6 +336,8 @@ func (g *CGC) RunCycle(hs Handshaker, stop func() bool) CGCResult {
 	}
 
 	// Phase 4+5: concurrent mark to a flushed fixpoint.
+	g.Ring.Emit(trace.EvCGCMarkBegin, 0, 0, 0)
+	inMark = true
 	marked := int64(0)
 	budget := 0
 	fixSpins := 0
@@ -374,11 +388,14 @@ func (g *CGC) RunCycle(hs Handshaker, stop func() bool) CGCResult {
 		}
 	}
 	res.MarkedObjects = marked
+	g.Ring.Emit(trace.EvCGCMarkEnd, 0, uint64(marked), 0)
+	inMark = false
 
 	// Phase 6: barrier off, sweep. Mutators stop shading; stragglers that
 	// raced the flip park harmlessly in the queue until the next cycle's
 	// opening drain.
 	g.phase.Store(cgcSweeping)
+	g.Ring.Emit(trace.EvCGCSweepBegin, 0, 0, 0)
 	for _, h := range scope {
 		if !h.CGCBeginSweep() {
 			// Cannot happen under the park protocol (nothing revokes a
@@ -417,6 +434,7 @@ func (g *CGC) RunCycle(hs Handshaker, stop func() bool) CGCResult {
 			res.FreedWords += int64(st.FreedWords)
 			c.DropMarks()
 			if dead {
+				g.Ring.Emit(trace.EvChunkRelease, 0, uint64(c.ID), uint64(len(c.Data)))
 				g.Space.Release(c)
 				res.SweptChunks++
 				continue
@@ -425,6 +443,7 @@ func (g *CGC) RunCycle(hs Handshaker, stop func() bool) CGCResult {
 			kept = append(kept, c)
 			if st.FreeWords >= reuseMinWords {
 				h.PushReusable(c)
+				g.Ring.Emit(trace.EvChunkReuse, 0, uint64(c.ID), uint64(st.FreeWords))
 			}
 		}
 		// Snapshot chunks no longer on the list (merged away — cannot
@@ -457,6 +476,10 @@ func (g *CGC) RunCycle(hs Handshaker, stop func() bool) CGCResult {
 	g.RetainedTotal.Add(int64(res.RetainedChunks))
 	g.SkippedHeapTot.Add(int64(res.SkippedHeaps))
 	g.LastLiveWords.Store(res.LiveWords)
+	g.Ring.Emit(trace.EvCGCSweepEnd, 0, uint64(res.SweptChunks), uint64(res.RetainedChunks))
+	g.Ring.Emit(trace.EvCGCCycleEnd, 0, uint64(res.FreedWords), 0)
+	g.Ring.Emit(trace.EvCounter, 0, uint64(trace.CtrLiveWords), uint64(res.LiveWords))
+	g.Ring.Emit(trace.EvCounter, 0, uint64(trace.CtrRetainedChunks), uint64(g.RetainedTotal.Load()))
 	return res
 }
 

@@ -1,0 +1,149 @@
+package hierarchy
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mplgo/internal/mem"
+)
+
+func TestDumpTree(t *testing.T) {
+	tr := New()
+	sp := mem.NewSpace()
+	root := tr.Root()
+	a := tr.Fork(root)
+	b := tr.Fork(root)
+	aa := tr.Fork(a)
+
+	// One chunk per heap, an extra one for a, and a pinned object in aa.
+	sp.NewChunk(root.ID, 0)
+	ca := sp.NewChunk(a.ID, 0)
+	sp.NewChunk(a.ID, 0)
+	sp.NewChunk(b.ID, 0)
+	caa := sp.NewChunk(aa.ID, 0)
+	_ = ca
+	atomic.AddInt32(&caa.PinCount, 1)
+	a.CGCPark()
+
+	d := tr.DumpTree(sp)
+	if d.LiveHeaps != 4 || len(d.Heaps) != 4 {
+		t.Fatalf("LiveHeaps = %d, len = %d", d.LiveHeaps, len(d.Heaps))
+	}
+	byID := map[uint32]HeapDump{}
+	for _, h := range d.Heaps {
+		byID[h.ID] = h
+	}
+	if h := byID[root.ID]; h.Chunks != 1 || h.Parent != 0 || h.Depth != 0 || h.LiveChildren != 2 {
+		t.Fatalf("root dump %+v", h)
+	}
+	if h := byID[a.ID]; h.Chunks != 2 || h.Parent != root.ID || h.CGCState != "parked" {
+		t.Fatalf("a dump %+v", h)
+	}
+	if h := byID[aa.ID]; h.Pinned != 1 || h.Words != mem.ChunkWords || h.Depth != 2 {
+		t.Fatalf("aa dump %+v", h)
+	}
+	if d.Pinned != 1 || d.TotalWords != 5*mem.ChunkWords {
+		t.Fatalf("totals: pinned %d words %d", d.Pinned, d.TotalWords)
+	}
+
+	var jb bytes.Buffer
+	if err := d.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var round TreeDump
+	if err := json.Unmarshal(jb.Bytes(), &round); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(round.Heaps) != 4 || round.TotalWords != d.TotalWords {
+		t.Fatalf("round-trip mismatch: %+v", round)
+	}
+
+	var db bytes.Buffer
+	if err := d.WriteDOT(&db); err != nil {
+		t.Fatal(err)
+	}
+	dot := db.String()
+	for _, want := range []string{
+		"digraph heaps {",
+		"parked",
+		"pinned 1",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestCGCStateName(t *testing.T) {
+	tr := New()
+	h := tr.Fork(tr.Root())
+	if s := h.CGCStateName(); s != "active" {
+		t.Fatalf("fresh heap state %q", s)
+	}
+	h.CGCPark()
+	if s := h.CGCStateName(); s != "parked" {
+		t.Fatalf("parked state %q", s)
+	}
+	if !h.CGCClaim() {
+		t.Fatal("claim failed")
+	}
+	if s := h.CGCStateName(); s != "scoped" {
+		t.Fatalf("scoped state %q", s)
+	}
+	if !h.CGCBeginSweep() {
+		t.Fatal("begin sweep failed")
+	}
+	if s := h.CGCStateName(); s != "sweeping" {
+		t.Fatalf("sweeping state %q", s)
+	}
+	h.CGCRelease()
+	if !h.CGCTryResume() {
+		t.Fatal("resume failed")
+	}
+}
+
+// TestDumpTreeConcurrent exercises DumpTree while heaps fork, merge, and
+// chunks churn — under -race this proves the snapshot touches only
+// synchronized state.
+func TestDumpTreeConcurrent(t *testing.T) {
+	tr := New()
+	sp := mem.NewSpace()
+	root := tr.Root()
+	sp.NewChunk(root.ID, 0)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := tr.Fork(root)
+			ch := sp.NewChunk(c.ID, 0)
+			tr.Merge(c, root, sp)
+			sp.Release(ch)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		d := tr.DumpTree(sp)
+		if d.LiveHeaps < 1 {
+			t.Errorf("no live heaps in snapshot")
+			break
+		}
+		var jb bytes.Buffer
+		if err := d.WriteJSON(&jb); err != nil {
+			t.Errorf("WriteJSON: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -17,6 +17,7 @@ import (
 	"mplgo/internal/chaos"
 	"mplgo/internal/mem"
 	"mplgo/internal/order"
+	"mplgo/internal/trace"
 )
 
 // RootSet enumerates mutable values that must be treated as GC roots.
@@ -157,6 +158,14 @@ type Heap struct {
 	// publication discipline as pinBuf: pushed under the gate, drained by
 	// the owner.
 	reuseBuf stack[*mem.Chunk]
+
+	// TraceRing is the event ring of the worker currently running this
+	// heap's strand, set by the runtime when the task is created (and nil
+	// in untraced runtimes). Heap-side instrumentation (merge, unpin)
+	// emits here; the single-writer contract holds because a heap is
+	// executed by exactly one strand at a time, and the strand performing
+	// a merge owns the parent heap it merges into.
+	TraceRing *trace.Ring
 
 	// Stats
 	Collections int   // local collections rooted at this heap
@@ -472,6 +481,10 @@ func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int, unpin
 	defer parent.Gate.EndCollect()
 	child.DrainBuffers()
 
+	// The joining strand owns parent, so its ring is safe to write here.
+	ring := parent.TraceRing
+	ring.Emit(trace.EvHeapMerge, int32(parent.depth), uint64(child.ID), uint64(parent.ID))
+
 	for _, c := range child.Chunks {
 		c.SetHeapID(parent.ID)
 	}
@@ -500,6 +513,7 @@ func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int, unpin
 			if space.TryUnpin(r, h) {
 				unpinned++
 				unpinnedWords += int64(h.Len()) + 1
+				ring.Emit(trace.EvUnpin, int32(parent.depth), uint64(r), 0)
 				break
 			}
 			// Lost a race against a concurrent re-pin; re-examine.

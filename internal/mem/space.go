@@ -247,6 +247,28 @@ func (s *Space) ChunkByID(idx uint32) *Chunk {
 	return seg[idx&(segSize-1)]
 }
 
+// PinnedCount returns the number of currently pinned objects residing in
+// the chunk. Safe from any goroutine (the pin/unpin CASes publish it).
+func (c *Chunk) PinnedCount() int { return int(atomic.LoadInt32(&c.PinCount)) }
+
+// ForEachChunk visits every chunk ever published, live or released, in id
+// order. Safe to call concurrently with the mutator: the id bound is
+// snapshotted under the table mutex (which also orders the segment-slot
+// writes that published those chunks), and the visit reads only through
+// the lock-free directory. Introspection only — the visit callback must
+// restrict itself to atomic chunk fields (HeapID, PinnedCount, Words):
+// Alloc and the free-list words are owner-mutated without synchronization.
+func (s *Space) ForEachChunk(visit func(*Chunk)) {
+	s.mu.Lock()
+	n := s.next
+	s.mu.Unlock()
+	for id := uint32(1); id < n; id++ {
+		if c := s.ChunkByID(id); c != nil {
+			visit(c)
+		}
+	}
+}
+
 // LiveWords returns the words currently held by live chunks.
 func (s *Space) LiveWords() int64 { return s.liveWords.Load() }
 

@@ -9,11 +9,15 @@
 package sched
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"mplgo/internal/chaos"
+	"mplgo/internal/trace"
 )
 
 // item is a stealable unit of work: the right branch of a fork.
@@ -46,6 +50,10 @@ type Worker struct {
 
 	// Steals counts items this worker stole from others.
 	Steals int64
+
+	// Ring is the worker's event ring (nil in untraced runtimes). Only
+	// this worker's goroutine writes to it.
+	Ring *trace.Ring
 }
 
 // Pool is a work-stealing thread pool of P workers.
@@ -121,27 +129,34 @@ func (p *Pool) TotalSteals() int64 {
 // The shutdown runs in a defer so that even a panic escaping root (no
 // OnPanic handler installed) drains the stealing workers before
 // propagating: the pool never leaks goroutines, whatever the outcome.
+// Goroutines are labelled for runtime/pprof (mplgo_worker / mplgo_aux),
+// so CPU profiles attribute samples to scheduler strands; labels are
+// inherited by any goroutine a strand spawns.
 func (p *Pool) Run(root func(*Worker)) {
 	p.done.Store(false)
 	for _, w := range p.workers[1:] {
 		p.wg.Add(1)
 		go func(w *Worker) {
 			defer p.wg.Done()
-			w.stealLoop()
+			pprof.Do(context.Background(),
+				pprof.Labels("mplgo_worker", strconv.Itoa(w.ID)),
+				func(context.Context) { w.stealLoop() })
 		}(w)
 	}
 	if p.Aux != nil {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			p.Aux(func() bool { return p.done.Load() })
+			pprof.Do(context.Background(), pprof.Labels("mplgo_aux", "collector"),
+				func(context.Context) { p.Aux(func() bool { return p.done.Load() }) })
 		}()
 	}
 	defer func() {
 		p.done.Store(true)
 		p.wg.Wait()
 	}()
-	root(p.workers[0])
+	pprof.Do(context.Background(), pprof.Labels("mplgo_worker", "0"),
+		func(context.Context) { root(p.workers[0]) })
 }
 
 // runItem executes one work item, guaranteeing the done flag is set even
@@ -196,6 +211,7 @@ func (w *Worker) trySteal() *item {
 		}
 		if t := ws[idx].dq.stealTop(); t != nil {
 			atomic.AddInt64(&w.Steals, 1)
+			w.Ring.Emit(trace.EvSteal, 0, uint64(idx), 0)
 			return t
 		}
 	}

@@ -35,6 +35,13 @@ type BenchEntry struct {
 	RetainedChunks int64 `json:"retained_chunks"`
 	LiveWords      int64 `json:"live_words"`
 	CGCCycles      int64 `json:"cgc_cycles"`
+
+	// Sampled time-series of the retention counters from one extra traced
+	// (untimed) run, so the JSON trail shows the *shape* of retention —
+	// a pin leak that drains by the end of the run has the same final
+	// retained_chunks as a healthy run, but a very different series.
+	RetainedSeries   []CounterPoint `json:"retained_chunks_series,omitempty"`
+	PinnedPeakSeries []CounterPoint `json:"pinned_peak_bytes_series,omitempty"`
 }
 
 // BenchReport is the top-level JSON document written beside the tables so
@@ -59,19 +66,21 @@ func WriteBenchJSON(rows []TimeRow, timestamp string, scale int, path string) er
 	}
 	for _, r := range rows {
 		rep.Benchmarks = append(rep.Benchmarks, BenchEntry{
-			Name:            r.Name,
-			Entangled:       r.Entangled,
-			TseqNS:          r.Tseq.Nanoseconds(),
-			T1NS:            r.T1.Nanoseconds(),
-			T64SimNS:        r.T64.Nanoseconds(),
-			Overhead:        r.Overhead,
-			Speedup64:       r.Speedup64,
-			EntReads:        r.EntReads,
-			Pins:            r.Pins,
-			PinnedPeakBytes: r.PinnedPeakBytes,
-			RetainedChunks:  r.RetainedChunks,
-			LiveWords:       r.LiveWords,
-			CGCCycles:       r.CGCCycles,
+			Name:             r.Name,
+			Entangled:        r.Entangled,
+			TseqNS:           r.Tseq.Nanoseconds(),
+			T1NS:             r.T1.Nanoseconds(),
+			T64SimNS:         r.T64.Nanoseconds(),
+			Overhead:         r.Overhead,
+			Speedup64:        r.Speedup64,
+			EntReads:         r.EntReads,
+			Pins:             r.Pins,
+			PinnedPeakBytes:  r.PinnedPeakBytes,
+			RetainedChunks:   r.RetainedChunks,
+			LiveWords:        r.LiveWords,
+			CGCCycles:        r.CGCCycles,
+			RetainedSeries:   r.RetainedSeries,
+			PinnedPeakSeries: r.PinnedPeakSeries,
 		})
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -104,6 +104,13 @@ type TimeRow struct {
 	RetainedChunks int64 // pin-retained chunks (LGC)
 	LiveWords      int64 // max residency of the T1 run, in words
 	CGCCycles      int64 // completed concurrent cycles
+
+	// Sampled time-series of the retention counters, harvested from one
+	// extra traced (and untimed) run — the timed measurements above never
+	// see a tracer. Each point is (ns into the run, counter value); the
+	// series is downsampled to at most seriesPoints samples.
+	RetainedSeries   []CounterPoint // retained_chunks over time
+	PinnedPeakSeries []CounterPoint // pinned_peak_bytes over time
 }
 
 // timeReps is how many times TimeTable measures each configuration,
@@ -151,6 +158,7 @@ func TimeTable(sizes map[string]int, w io.Writer) []TimeRow {
 			LiveWords:       rt.MaxLiveWords(),
 			CGCCycles:       cycles,
 		}
+		row.RetainedSeries, row.PinnedPeakSeries = tracedSeries(b, n)
 		rows = append(rows, row)
 		fmt.Fprintf(w, "%-10s %5v %10s %10s %10s %8.2fx %8.2fx\n",
 			row.Name, row.Entangled, fmtD(row.Tseq), fmtD(row.T1), fmtD(row.T64),

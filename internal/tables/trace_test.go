@@ -1,0 +1,98 @@
+package tables
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mplgo/internal/trace"
+)
+
+func ctrEvent(ts int64, ctr trace.Counter, v uint64) trace.Event {
+	return trace.Event{TS: ts, Kind: trace.EvCounter, Arg1: uint64(ctr), Arg2: v}
+}
+
+func TestCounterSeries(t *testing.T) {
+	snap := [][]trace.Event{
+		{
+			ctrEvent(300, trace.CtrRetainedChunks, 3),
+			ctrEvent(100, trace.CtrRetainedChunks, 1),
+			{TS: 150, Kind: trace.EvFork}, // non-counter noise
+			ctrEvent(120, trace.CtrPinnedPeakBytes, 0),
+		},
+		{
+			ctrEvent(200, trace.CtrRetainedChunks, 2),
+		},
+	}
+	pts := counterSeries(snap, trace.CtrRetainedChunks)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i, want := range []CounterPoint{{100, 1}, {200, 2}, {300, 3}} {
+		if pts[i] != want {
+			t.Fatalf("point %d = %+v, want %+v (series must be time-ordered)", i, pts[i], want)
+		}
+	}
+	// All-zero series are dropped, missing counters return nil.
+	if s := counterSeries(snap, trace.CtrPinnedPeakBytes); s != nil {
+		t.Fatalf("all-zero series kept: %+v", s)
+	}
+	if s := counterSeries(snap, trace.CtrLiveWords); s != nil {
+		t.Fatalf("absent counter returned %+v", s)
+	}
+}
+
+func TestCounterSeriesDownsample(t *testing.T) {
+	var ring []trace.Event
+	for i := 0; i < 1000; i++ {
+		ring = append(ring, ctrEvent(int64(i), trace.CtrLiveWords, uint64(i+1)))
+	}
+	pts := counterSeries([][]trace.Event{ring}, trace.CtrLiveWords)
+	if len(pts) != seriesPoints {
+		t.Fatalf("downsampled to %d points, want %d", len(pts), seriesPoints)
+	}
+	if pts[0].TNS != 0 || pts[len(pts)-1].TNS != 999 {
+		t.Fatalf("endpoints not kept: first %+v last %+v", pts[0], pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TNS <= pts[i-1].TNS {
+			t.Fatalf("downsampled series not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestTraceRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var report bytes.Buffer
+	events, err := TraceRun("pipeline", map[string]int{"pipeline": 800}, 2, &report, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("traced run captured no events")
+	}
+	if !strings.Contains(report.String(), "pipeline") {
+		t.Fatalf("report line: %q", report.String())
+	}
+
+	// The export must round-trip through the summarizer (the CI validator)
+	// and show the entangled pipeline's slow-path activity.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := trace.Summarize(f)
+	if err != nil {
+		t.Fatalf("exported trace rejected by summarizer: %v", err)
+	}
+	if s.Events == 0 || s.EntangledReads == 0 || s.Pins == 0 {
+		t.Fatalf("summary missing pipeline activity: %+v", s)
+	}
+
+	if _, err := TraceRun("no-such-bench", nil, 1, &report, path); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Package telemetry exposes a runtime's live counters and heap hierarchy
+// over HTTP, for watching an entangled workload from the outside while it
+// runs. Everything served here reads only atomic snapshots (the Stats
+// counters, Space gauges, and hierarchy.DumpTree), so scraping a runtime
+// under full parallel load is safe and nearly free — no locks are taken on
+// any mutator path.
+//
+// The format of /metrics is the Prometheus text exposition format, written
+// by hand to keep the runtime dependency-free; /debug/heaptree serves the
+// hierarchy.DumpTree snapshot as JSON, or DOT with ?format=dot.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"mplgo/internal/core"
+)
+
+// metric is one exported gauge or counter.
+type metric struct {
+	name string
+	help string
+	typ  string // "counter" or "gauge"
+	val  int64
+}
+
+// collect snapshots every exported metric from the runtime's accessors.
+func collect(rt *core.Runtime) []metric {
+	es := rt.EntStats()
+	collections, copied, reclaimed := rt.GCStats()
+	cycles, freed, swept, cgcRetained, lastLive := rt.CGCStats()
+	sp := rt.Space()
+	return []metric{
+		{"mplgo_steals_total", "Work-stealing deque steals", "counter", rt.Steals()},
+		{"mplgo_live_words", "Words in live chunks", "gauge", sp.LiveWords()},
+		{"mplgo_max_live_words", "High-water mark of live words", "gauge", sp.MaxLiveWords()},
+		{"mplgo_total_alloc_words", "Cumulative words handed to allocators", "counter", sp.TotalAllocWords()},
+		{"mplgo_gc_collections_total", "Local (LGC) collections", "counter", collections},
+		{"mplgo_gc_copied_words_total", "Words copied by local collections", "counter", copied},
+		{"mplgo_gc_reclaimed_words_total", "Words reclaimed by local collections", "counter", reclaimed},
+		{"mplgo_gc_retained_chunks_total", "Chunks retained for pinned objects by LGC", "counter", rt.RetainedChunks()},
+		{"mplgo_cgc_cycles_total", "Concurrent collection cycles completed", "counter", cycles},
+		{"mplgo_cgc_freed_words_total", "Words reclaimed in place by CGC sweeps", "counter", freed},
+		{"mplgo_cgc_swept_chunks_total", "Chunks released whole by CGC sweeps", "counter", swept},
+		{"mplgo_cgc_retained_chunks_total", "Chunks retained with live or pinned objects by CGC", "counter", cgcRetained},
+		{"mplgo_cgc_last_live_words", "Live words observed by the last CGC sweep", "gauge", lastLive},
+		{"mplgo_ent_down_pointers_total", "Down-pointers recorded by the write barrier", "counter", es.DownPointers},
+		{"mplgo_ent_candidates_total", "Objects marked as entanglement candidates", "counter", es.Candidates},
+		{"mplgo_ent_entangled_reads_total", "Reads proven entangled", "counter", es.EntangledReads},
+		{"mplgo_ent_entangled_writes_total", "Writes proven entangled", "counter", es.EntangledWrites},
+		{"mplgo_ent_slow_reads_total", "Read-barrier slow paths taken", "counter", es.SlowReads},
+		{"mplgo_ent_pins_total", "Objects pinned", "counter", es.Pins},
+		{"mplgo_ent_unpins_total", "Objects unpinned", "counter", es.Unpins},
+		{"mplgo_ent_pinned_now", "Currently pinned objects", "gauge", es.Pins - es.Unpins},
+		{"mplgo_ent_pinned_peak", "High-water mark of pinned objects", "gauge", es.PinnedPeak},
+		{"mplgo_ent_pinned_peak_bytes", "High-water mark of pinned bytes", "gauge", es.PinnedPeakBytes},
+	}
+}
+
+// WriteMetrics writes the Prometheus text exposition of the runtime's
+// counters.
+func WriteMetrics(w io.Writer, rt *core.Runtime) error {
+	for _, m := range collect(rt) {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			m.name, m.help, m.name, m.typ, m.name, m.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Metrics returns the /metrics handler.
+func Metrics(rt *core.Runtime) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteMetrics(w, rt)
+	})
+}
+
+// HeapTree returns the /debug/heaptree handler: a point-in-time dump of
+// the live heap hierarchy, JSON by default, Graphviz with ?format=dot.
+func HeapTree(rt *core.Runtime) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := rt.Tree().DumpTree(rt.Space())
+		if r.URL.Query().Get("format") == "dot" {
+			w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+			_ = d.WriteDOT(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = d.WriteJSON(w)
+	})
+}
+
+// Register wires the telemetry handlers into mux under their conventional
+// paths.
+func Register(mux *http.ServeMux, rt *core.Runtime) {
+	mux.Handle("/metrics", Metrics(rt))
+	mux.Handle("/debug/heaptree", HeapTree(rt))
+}

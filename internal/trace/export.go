@@ -1,0 +1,138 @@
+// Chrome trace_event exporter: renders a tracer's rings as the JSON
+// object format Perfetto and chrome://tracing load directly. Worker
+// rings become thread tracks (duration events for LGC/CGC phases,
+// instants for everything else); counter samples become counter tracks.
+// Every event keeps its raw kind/args/ns timestamp in "args", which is
+// what lets cmd/mplgo-trace summarize the exported file without a
+// second binary format.
+
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the trace_event "traceEvents" array. Only
+// the fields the format requires: ph (phase), name, pid/tid (track),
+// ts (microseconds, fractional). Counter events carry their value in
+// args; all events carry the raw ring record in args for round-trips.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope
+	Args map[string]any `json:"args,omitempty"` // raw event payload
+}
+
+// chromeTrace is the top-level object format (the array format is also
+// legal trace_event, but the object form is self-terminating and leaves
+// room for metadata).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// durationPairs maps each phase-begin kind to its end kind and track
+// name; begin/end become "B"/"E" duration events so the phase shows as
+// a span on the worker's track.
+var durationPairs = map[Kind]struct {
+	end  Kind
+	name string
+}{
+	EvLGCBegin:      {EvLGCEnd, "LGC"},
+	EvCGCCycleBegin: {EvCGCCycleEnd, "CGC cycle"},
+	EvCGCMarkBegin:  {EvCGCMarkEnd, "CGC mark"},
+	EvCGCSweepBegin: {EvCGCSweepEnd, "CGC sweep"},
+}
+
+// durationEnds is the reverse index of durationPairs.
+var durationEnds = func() map[Kind]string {
+	m := make(map[Kind]string, len(durationPairs))
+	for _, p := range durationPairs {
+		m[p.end] = p.name
+	}
+	return m
+}()
+
+// WriteChrome renders the tracer's rings to w as trace_event JSON. The
+// snapshot is taken ring by ring; call it after the traced run (or
+// accept a live, possibly ragged, snapshot).
+func WriteChrome(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return fmt.Errorf("trace: no tracer")
+	}
+	return writeChromeEvents(w, t.Snapshot(), t.Workers())
+}
+
+// writeChromeEvents is the ring-independent core, shared with tests that
+// build event slices directly.
+func writeChromeEvents(w io.Writer, rings [][]Event, workers int) error {
+	bw := bufio.NewWriter(w)
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+
+	// Thread-name metadata: one named track per ring. The collector ring
+	// (index == workers) is labelled as such.
+	for i := range rings {
+		name := fmt.Sprintf("worker %d", i)
+		if i == workers {
+			name = "cgc collector"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: i,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for tid, evs := range rings {
+		for _, e := range evs {
+			ts := float64(e.TS) / 1e3 // trace_event ts is microseconds
+			args := map[string]any{
+				"kind":  e.Kind.String(),
+				"arg1":  e.Arg1,
+				"arg2":  e.Arg2,
+				"ts_ns": e.TS,
+				"depth": e.Depth,
+			}
+			switch {
+			case e.Kind == EvCounter:
+				ctr := Counter(e.Arg1)
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: ctr.String(), Ph: "C", TS: ts, PID: 1, TID: tid,
+					Args: map[string]any{
+						"value": e.Arg2,
+						"kind":  e.Kind.String(),
+						"ts_ns": e.TS,
+					},
+				})
+			case durationPairs[e.Kind].name != "":
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: durationPairs[e.Kind].name, Ph: "B", TS: ts,
+					PID: 1, TID: tid, Args: args,
+				})
+			case durationEnds[e.Kind] != "":
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: durationEnds[e.Kind], Ph: "E", TS: ts,
+					PID: 1, TID: tid, Args: args,
+				})
+			default:
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: e.Kind.String(), Ph: "i", TS: ts, PID: 1, TID: tid,
+					S:    "t",
+					Args: args,
+				})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,123 @@
+// Trace-overhead microbenchmarks (external test package: the fork/join
+// and read benchmarks drive the runtime through mpl, which imports trace).
+//
+// The numbers that matter are the Disabled/Installed variants: tracing is
+// compiled in but off, which is the state every timed experiment runs in.
+// The contract is that this costs one nil test (instrumented call sites)
+// or one nil test plus one atomic load (Emit on a live ring), i.e. within
+// measurement noise of not having tracing at all. DESIGN.md §7 records
+// representative numbers; TestDisabledTraceOverhead fails the build if
+// the disabled path ever becomes pathologically expensive.
+package trace_test
+
+import (
+	"testing"
+
+	"mplgo/internal/trace"
+	"mplgo/mpl"
+)
+
+var sink int64
+
+// BenchmarkEmitNil is the cost at every instrumentation site of an
+// untraced runtime: the ring pointer is nil.
+func BenchmarkEmitNil(b *testing.B) {
+	var r *trace.Ring
+	for i := 0; i < b.N; i++ {
+		r.Emit(trace.EvFork, 0, 1, 2)
+	}
+}
+
+// BenchmarkEmitDisabled is the cost with a tracer installed but the
+// global gate off: one nil test plus one atomic load.
+func BenchmarkEmitDisabled(b *testing.B) {
+	tr := trace.NewTracer(1, 1<<10)
+	r := tr.Ring(0)
+	for i := 0; i < b.N; i++ {
+		r.Emit(trace.EvFork, 0, 1, 2)
+	}
+}
+
+// BenchmarkEmitEnabled is the full event-record cost: four atomic stores
+// and a sequence publish.
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := trace.NewTracer(1, 1<<10)
+	r := tr.Ring(0)
+	trace.Enable()
+	defer trace.Disable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit(trace.EvFork, 0, 1, 2)
+	}
+}
+
+// benchForkJoin measures a minimal Par on one worker, with or without a
+// tracer installed (never enabled — this is the timed-experiment state).
+func benchForkJoin(b *testing.B, tracer *mpl.Tracer) {
+	rt := mpl.New(mpl.Config{Procs: 1, Tracer: tracer})
+	if _, err := rt.Run(func(t *mpl.Task) mpl.Value {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a, c := t.Par(
+				func(*mpl.Task) mpl.Value { return mpl.Int(1) },
+				func(*mpl.Task) mpl.Value { return mpl.Int(2) },
+			)
+			sink += a.AsInt() + c.AsInt()
+		}
+		b.StopTimer()
+		return mpl.Nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkForkJoinUntraced(b *testing.B)        { benchForkJoin(b, nil) }
+func BenchmarkForkJoinTracerInstalled(b *testing.B) { benchForkJoin(b, mpl.NewTracer(1, 0)) }
+
+// benchRead measures the read-barrier fast path (LoadChecked), which
+// deliberately carries no trace branch at all — the Installed variant
+// must be indistinguishable from the Untraced one.
+func benchRead(b *testing.B, tracer *mpl.Tracer) {
+	rt := mpl.New(mpl.Config{Procs: 1, Tracer: tracer})
+	if _, err := rt.Run(func(t *mpl.Task) mpl.Value {
+		r := t.AllocTuple(mpl.Int(7), mpl.Int(11))
+		var acc int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			acc += t.Read(r, i&1).AsInt()
+		}
+		b.StopTimer()
+		sink += acc
+		return mpl.Nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkReadUntraced(b *testing.B)        { benchRead(b, nil) }
+func BenchmarkReadTracerInstalled(b *testing.B) { benchRead(b, mpl.NewTracer(1, 0)) }
+
+// TestDisabledTraceOverhead is the regression guard the CI bench job
+// runs: the disabled Emit path must stay a nil test + atomic load. The
+// bound is deliberately loose (50x a healthy result) so scheduler noise
+// and the race detector never flake it — it exists to catch a category
+// change (a lock, an allocation, an unconditional store), not a
+// nanosecond drift; the drift is tracked by the benchmarks above.
+func TestDisabledTraceOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	const maxNS = 150
+	for name, fn := range map[string]func(*testing.B){
+		"EmitNil":      BenchmarkEmitNil,
+		"EmitDisabled": BenchmarkEmitDisabled,
+	} {
+		res := testing.Benchmark(fn)
+		if ns := res.NsPerOp(); ns > maxNS {
+			t.Errorf("%s: %d ns/op, want <= %d (disabled tracing must stay branch-cheap)",
+				name, ns, maxNS)
+		} else {
+			t.Logf("%s: %d ns/op", name, ns)
+		}
+	}
+}

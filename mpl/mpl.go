@@ -32,11 +32,14 @@
 package mpl
 
 import (
+	"io"
+
 	"mplgo/internal/chaos"
 	"mplgo/internal/core"
 	"mplgo/internal/entangle"
 	"mplgo/internal/mem"
 	"mplgo/internal/sim"
+	"mplgo/internal/trace"
 )
 
 // Value is a tagged word: a 63-bit integer, a reference, or Nil.
@@ -113,6 +116,29 @@ func New(cfg Config) *Runtime { return core.New(cfg) }
 func Run(cfg Config, f func(*Task) Value) (Value, error) {
 	return New(cfg).Run(f)
 }
+
+// Tracer collects runtime events — forks, joins, steals, collection
+// phases, entanglement pins — into per-worker lock-free rings (package
+// trace). Install one via Config.Tracer, bracket the region of interest
+// with TraceEnable/TraceDisable, then export with WriteChrome.
+type Tracer = trace.Tracer
+
+// NewTracer creates a tracer with one event ring per worker plus one for
+// the concurrent collector. procs must match Config.Procs; slots is the
+// per-ring capacity (rounded down to a power of two, 0 for the default).
+func NewTracer(procs, slots int) *Tracer { return trace.NewTracer(procs, slots) }
+
+// TraceEnable turns the global trace gate on. Enables nest: tracing stays
+// on until every Enable has been matched by a TraceDisable. A runtime with
+// no Tracer installed records nothing either way.
+func TraceEnable() { trace.Enable() }
+
+// TraceDisable undoes one TraceEnable.
+func TraceDisable() { trace.Disable() }
+
+// WriteChrome exports a tracer's events as Chrome trace_event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChrome(w io.Writer, t *Tracer) error { return trace.WriteChrome(w, t) }
 
 // Speedup estimates the speedup of the runtime's recorded computation at
 // each processor count in ps, by replaying the trace on the deterministic
