@@ -286,8 +286,9 @@ func BenchmarkAblateUnpin(b *testing.B) {
 	}
 }
 
-// BenchmarkAblateAncestor compares the order-maintenance ancestor test
-// against naive parent walking on a deep hierarchy.
+// BenchmarkAblateAncestor compares the O(1) ancestor test (the fork-path
+// prefix test, on a depth-256 spine with spilled paths) against naive
+// parent walking on a deep hierarchy.
 func BenchmarkAblateAncestor(b *testing.B) {
 	tr := hierarchy.New()
 	h := tr.Root()
@@ -299,7 +300,7 @@ func BenchmarkAblateAncestor(b *testing.B) {
 	for _, mode := range []struct {
 		name string
 		walk bool
-	}{{"order-maintenance", false}, {"parent-walk", true}} {
+	}{{"fork-path", false}, {"parent-walk", true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			tr.UseWalkAncestor = mode.walk
 			for i := 0; i < b.N; i++ {

@@ -26,7 +26,7 @@
 //
 // -baseline <file.json> compares the fresh T1 report against a previous
 // one and exits nonzero if any benchmark's overhead (T1/Tseq) regressed by
-// more than -tolerance (default 15%). CI uses this against the checked-in
+// more than -tolerance (default 10%). CI uses this against the checked-in
 // baseline report.
 package main
 
@@ -51,8 +51,8 @@ func main() {
 		"T1 JSON report path; 'auto' names it BENCH_<timestamp>.json, 'off' disables")
 	baseline := flag.String("baseline", "",
 		"previous BENCH_*.json to compare the fresh T1 report against; exit 1 on regression")
-	tolerance := flag.Float64("tolerance", 0.15,
-		"relative T1-overhead regression tolerated by -baseline (0.15 = 15%)")
+	tolerance := flag.Float64("tolerance", 0.10,
+		"relative T1-overhead regression tolerated by -baseline (0.10 = 10%)")
 	flag.Parse()
 
 	var sizes map[string]int

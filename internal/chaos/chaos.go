@@ -67,6 +67,15 @@ const (
 	// while it holds its heap's reader gate, widening the window the
 	// marking-termination gate flush must close.
 	CGCShade
+	// PathSpill fires in Tree.Fork when the child's fork path is built: a
+	// hit forces the inline→vector spill promotion of the DePa fork-path
+	// representation even though the path would fit inline, so shallow
+	// trees exercise the spilled comparison paths that otherwise need
+	// depth > 64. (The legacy order list's rebalance/exhaustion fallback
+	// needed no injection point of its own — exhaustion tests shrink the
+	// label space directly — and is unreachable on the default fork-path
+	// oracle, which has no label space at all.)
+	PathSpill
 	numPoints int = iota
 )
 
@@ -90,6 +99,8 @@ func (p Point) String() string {
 		return "cgc-sweep"
 	case CGCShade:
 		return "cgc-shade"
+	case PathSpill:
+		return "path-spill"
 	}
 	return "invalid"
 }
@@ -117,6 +128,7 @@ type Options struct {
 	CGCMark       uint32
 	CGCSweep      uint32
 	CGCShade      uint32
+	PathSpill     uint32
 }
 
 // Soak is the default option set of the chaos soak suite: every point on,
@@ -133,6 +145,7 @@ func Soak() Options {
 		CGCMark:       256,
 		CGCSweep:      512,
 		CGCShade:      256,
+		PathSpill:     256,
 	}
 }
 
@@ -169,6 +182,7 @@ func New(seed int64, o Options) *Injector {
 	in.rate[CGCMark] = clamp(o.CGCMark, 1024)
 	in.rate[CGCSweep] = clamp(o.CGCSweep, 1024)
 	in.rate[CGCShade] = clamp(o.CGCShade, 1024)
+	in.rate[PathSpill] = clamp(o.PathSpill, 1024)
 	return in
 }
 

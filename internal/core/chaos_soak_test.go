@@ -116,6 +116,81 @@ func TestChaosSoakEntangled(t *testing.T) {
 	}
 }
 
+// spineProgram builds a fork spine of the given depth: each level forks one
+// recursing branch and one leaf that churns allocations. In eager-heap mode
+// the heap tree grows a path of `depth` edges, pushing the fork-path words
+// past their 128-bit inline width so the spilled representation carries the
+// ancestry queries of real collections and joins (not just unit tests).
+func spineProgram(depth int) func(t *Task) mem.Value {
+	var rec func(t *Task, d int) int64
+	rec = func(t *Task, d int) int64 {
+		if d == 0 {
+			return 1
+		}
+		a, b := t.Par(
+			func(t *Task) mem.Value { return mem.Int(rec(t, d-1)) },
+			func(t *Task) mem.Value {
+				t.AllocArray(32, mem.Int(int64(d))) // churn to trigger LGCs
+				return mem.Int(int64(d))
+			},
+		)
+		return a.AsInt() + b.AsInt()
+	}
+	return func(t *Task) mem.Value { return mem.Int(rec(t, depth)) }
+}
+
+// TestChaosDeepSpineSpill soaks the fork-path spill: a depth-160 spine
+// under the full injection preset (which includes PathSpill, forcing the
+// inline→vector promotion even at shallow depths) in both heap modes. The
+// eager run must have produced at least one naturally spilled path; the
+// PathSpill point must have fired somewhere across the matrix. (The legacy
+// label-space rebalance needed no chaos point and is unreachable on the
+// default oracle — this is its replacement as the ancestry stress.)
+func TestChaosDeepSpineSpill(t *testing.T) {
+	const depth = 160
+	want := int64(1 + depth*(depth+1)/2)
+	opts := chaos.Soak()
+	var pathSpills uint64
+	for _, seed := range chaosSeeds(t) {
+		for _, cfg := range []Config{
+			{Procs: 4, HeapBudgetWords: 1024, Seed: seed, Chaos: &opts},
+			{Procs: 4, HeapBudgetWords: 1024, Seed: seed, Chaos: &opts, LazyHeaps: true},
+		} {
+			rt := New(cfg)
+			v, err := rt.Run(spineProgram(depth))
+			if err != nil {
+				dumpChaosFailure(t, rt, seed, cfg, err)
+				t.Fatalf("seed %d %+v: %v\n%s", seed, cfg, err, rt.ChaosReport())
+			}
+			if v.AsInt() != want {
+				dumpChaosFailure(t, rt, seed, cfg,
+					fmt.Errorf("result %d, want %d", v.AsInt(), want))
+				t.Fatalf("seed %d %+v: result %d, want %d", seed, cfg, v.AsInt(), want)
+			}
+			pathSpills += rt.chaos.Injected(chaos.PathSpill)
+			if cfg.LazyHeaps {
+				continue
+			}
+			// Eager mode forked a heap per spine level: some path must have
+			// outgrown the inline words regardless of injection.
+			spilled := false
+			for id := uint32(1); !spilled; id++ {
+				h := rt.tree.Get(id)
+				if h == nil {
+					break
+				}
+				spilled = h.Path().Spilled()
+			}
+			if !spilled {
+				t.Fatalf("seed %d: depth-%d spine produced no spilled fork path", seed, depth)
+			}
+		}
+	}
+	if pathSpills == 0 {
+		t.Fatal("PathSpill injection never fired across the seed matrix — rate wired wrong?")
+	}
+}
+
 // TestChaosSoakWithPanics layers branch panics on top of fault injection:
 // the unwind must stay clean even while the chaos layer is forcing
 // collections and refusing CASes underneath it.

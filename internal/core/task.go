@@ -198,6 +198,10 @@ func (t *Task) collectNow() bool {
 	if ring != nil && trace.Enabled() {
 		ring.Emit(trace.EvCounter, d, uint64(trace.CtrLiveWords), uint64(t.rt.space.LiveWords()))
 		ring.Emit(trace.EvCounter, d, uint64(trace.CtrRetainedChunks), uint64(t.rt.col.RetainedChunks.Load()))
+		if s := t.rt.tree.Stats; s != nil {
+			ring.Emit(trace.EvCounter, d, uint64(trace.CtrAncestryQueries), uint64(s.AncestryQueries.Load()))
+			ring.Emit(trace.EvCounter, d, uint64(trace.CtrSeqlockRetries), uint64(s.SeqlockRetries.Load()))
+		}
 	}
 	t.alloc.Retarget(t.heap.ID)
 	t.Work(res.CopiedWords * costGCWord)

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mplgo/internal/hierarchy"
+	"mplgo/internal/trace"
+)
+
+// TestAncestryCountersReachTrace runs an entangled workload with tracing on
+// and checks the ancestry-oracle counters flow end to end: Tree.Stats is
+// installed alongside the tracer, join/LGC sites sample it into counter
+// events, and the Chrome export + summary surface them by name. On the
+// default fork-path oracle the retry counter must stay zero — there is no
+// retry path to count.
+func TestAncestryCountersReachTrace(t *testing.T) {
+	tracer := trace.NewTracer(4, 1<<14)
+	rt := New(Config{Procs: 4, HeapBudgetWords: 2048, Tracer: tracer})
+	if rt.tree.Stats == nil {
+		t.Fatal("tracer installed but Tree.Stats not wired")
+	}
+	trace.Enable()
+	_, err := rt.Run(randomProgram(11, 6, true))
+	trace.Disable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.tree.Stats.AncestryQueries.Load() == 0 {
+		t.Fatal("entangled run consulted no ancestry oracle")
+	}
+	if n := rt.tree.Stats.SeqlockRetries.Load(); n != 0 {
+		t.Fatalf("fork-path oracle counted %d seqlock retries", n)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tracer); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	// The retry track is exported (all-zero on this oracle); Summarize's
+	// CounterMax only records counters that ever went positive.
+	if !strings.Contains(raw, `"seqlock_retries"`) {
+		t.Fatal("seqlock_retries track missing from Chrome export")
+	}
+	s, err := trace.Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max, ok := s.CounterMax[trace.CtrAncestryQueries]; !ok || max == 0 {
+		t.Fatalf("ancestry_queries missing from trace summary: %v", s.CounterMax)
+	}
+}
+
+// TestAncestryModesEndToEnd runs the entangled stress workload through the
+// runtime under every ancestry oracle — including AncestryBoth, which
+// panics on any fork-path/order-list divergence mid-run — and checks
+// results and pin accounting agree with a sequential baseline.
+func TestAncestryModesEndToEnd(t *testing.T) {
+	for _, seed := range []uint64{5, 17} {
+		prog := randomProgram(seed, 6, true)
+		var want int64
+		{
+			rt := New(Config{Procs: 1})
+			v, err := rt.Run(prog)
+			if err != nil {
+				t.Fatalf("seed %d: baseline: %v", seed, err)
+			}
+			want = v.AsInt()
+		}
+		for _, mode := range []hierarchy.AncestryMode{
+			hierarchy.AncestryForkPath, hierarchy.AncestryOrderList, hierarchy.AncestryBoth,
+		} {
+			for _, lazy := range []bool{false, true} {
+				rt := New(Config{Procs: 4, HeapBudgetWords: 2048, Ancestry: mode, LazyHeaps: lazy})
+				if got := rt.tree.Ancestry(); got != mode {
+					t.Fatalf("mode %v not plumbed (got %v)", mode, got)
+				}
+				v, err := rt.Run(prog)
+				if err != nil {
+					t.Fatalf("seed %d mode %v lazy %v: %v", seed, mode, lazy, err)
+				}
+				if v.AsInt() != want {
+					t.Fatalf("seed %d mode %v lazy %v: result %d, want %d",
+						seed, mode, lazy, v.AsInt(), want)
+				}
+				if s := rt.EntStats(); s.Pins != s.Unpins {
+					t.Fatalf("seed %d mode %v lazy %v: pins %d != unpins %d",
+						seed, mode, lazy, s.Pins, s.Unpins)
+				}
+			}
+		}
+	}
+}

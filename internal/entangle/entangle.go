@@ -276,8 +276,8 @@ func (m *Manager) OnWrite(leaf *hierarchy.Heap, o mem.Ref, i int, x mem.Ref) err
 			m.Stats.Candidates.Add(1)
 		}
 		m.Stats.EntangledWrites.Add(1)
-		unpin := m.Tree.LCA(oh, xh).Depth()
-		if u := m.Tree.LCA(leaf, xh).Depth(); u < unpin {
+		unpin := m.Tree.LCADepth(oh, xh)
+		if u := m.Tree.UnpinDepth(leaf, xh); u < unpin {
 			unpin = u
 		}
 		m.pinEntangled(leaf, x, unpin)
@@ -350,8 +350,10 @@ func (m *Manager) OnRead(leaf *hierarchy.Heap, o mem.Ref, i int, v mem.Value) (m
 			return v, nil
 		}
 		// Entangled read. The unpin depth (the LCA with the owner) also
-		// bounds the already-pinned fast path below, so compute it once.
-		unpin := m.Tree.LCA(leaf, xh).Depth()
+		// bounds the already-pinned fast path below; UnpinDepth serves it
+		// from the leaf's one-entry cache — ancestry is immutable, so
+		// repeated reads against the same concurrent heap skip the oracle.
+		unpin := m.Tree.UnpinDepth(leaf, xh)
 		if h := m.Space.Header(x); h.Valid() && h.Kind() != mem.KForward &&
 			!h.Busy() && h.Pinned() && h.Candidate() &&
 			h.UnpinDepth() <= unpin {
@@ -477,5 +479,9 @@ func (m *Manager) OnJoin(child, parent *hierarchy.Heap) {
 		d := int32(parent.Depth())
 		r.Emit(trace.EvCounter, d, uint64(trace.CtrPinnedBytes), uint64(now))
 		r.Emit(trace.EvCounter, d, uint64(trace.CtrPinnedPeakBytes), uint64(m.Stats.PinnedBytesPeak.Load()))
+		if s := m.Tree.Stats; s != nil {
+			r.Emit(trace.EvCounter, d, uint64(trace.CtrAncestryQueries), uint64(s.AncestryQueries.Load()))
+			r.Emit(trace.EvCounter, d, uint64(trace.CtrSeqlockRetries), uint64(s.SeqlockRetries.Load()))
+		}
 	}
 }

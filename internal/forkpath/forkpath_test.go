@@ -1,0 +1,214 @@
+package forkpath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// node is the naive reference model: an explicit tree with parent
+// pointers, the oracle every Path operation is checked against.
+type node struct {
+	parent *node
+	depth  int
+	path   Path
+	seq    uint64 // next child sequence number
+}
+
+func (n *node) fork(spill bool) *node {
+	n.seq++
+	var p Path
+	if spill {
+		p = n.path.ChildSpilled(n.seq)
+	} else {
+		p = n.path.Child(n.seq)
+	}
+	return &node{parent: n, depth: n.depth + 1, path: p}
+}
+
+func isAncestorNaive(a, d *node) bool {
+	for x := d; x != nil; x = x.parent {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func lcaDepthNaive(a, b *node) int {
+	seen := map[*node]bool{}
+	for x := a; x != nil; x = x.parent {
+		seen[x] = true
+	}
+	for x := b; x != nil; x = x.parent {
+		if seen[x] {
+			return x.depth
+		}
+	}
+	return 0
+}
+
+func TestRootAndChildBasics(t *testing.T) {
+	r := Root()
+	if r.Depth() != 0 || r.BitLen() != 0 || r.Spilled() {
+		t.Fatalf("root malformed: %+v", r)
+	}
+	c1 := r.Child(1)
+	c2 := r.Child(2)
+	if c1.Depth() != 1 || c2.Depth() != 1 {
+		t.Fatal("child depth wrong")
+	}
+	if Equal(&c1, &c2) {
+		t.Fatal("sibling paths equal")
+	}
+	if !IsPrefix(&r, &c1) || !IsPrefix(&c1, &c1) || IsPrefix(&c1, &r) || IsPrefix(&c1, &c2) {
+		t.Fatal("prefix relation wrong on root/children")
+	}
+	if LCADepth(&c1, &c2) != 0 {
+		t.Fatalf("LCADepth(siblings) = %d, want 0", LCADepth(&c1, &c2))
+	}
+	if LCADepth(&c1, &c1) != 1 {
+		t.Fatalf("LCADepth(x,x) = %d, want depth 1", LCADepth(&c1, &c1))
+	}
+	g := c1.Child(1)
+	if LCADepth(&g, &c1) != 1 || !IsPrefix(&c1, &g) {
+		t.Fatal("grandchild relation wrong")
+	}
+}
+
+// Sequence numbers whose codes share bit patterns must not alias: 1 then
+// 2 ("1","10") vs 3 ("11") etc. The ends plane is what disambiguates.
+func TestNoAliasingAcrossCodeBoundaries(t *testing.T) {
+	r := Root()
+	// Path /3 (code "11") vs path /1/1 (codes "1","1" = bits "11" too):
+	// identical bits planes, different ends planes.
+	a := r.Child(3)
+	via := r.Child(1)
+	b := via.Child(1)
+	if a.BitLen() != b.BitLen() {
+		t.Fatalf("setup: bitlens differ (%d vs %d)", a.BitLen(), b.BitLen())
+	}
+	if IsPrefix(&a, &b) || IsPrefix(&b, &a) || Equal(&a, &b) {
+		t.Fatalf("paths alias: %s vs %s", a.String(), b.String())
+	}
+	if LCADepth(&a, &b) != 0 {
+		t.Fatalf("LCADepth = %d, want 0 (diverge at root)", LCADepth(&a, &b))
+	}
+	// /2 (code "10") is a bits-plane prefix of /2/... but also of /5
+	// (code "101") — the ends plane must reject the latter.
+	p2 := r.Child(2)
+	p5 := r.Child(5)
+	if IsPrefix(&p2, &p5) {
+		t.Fatal("code-boundary violation: /2 accepted as prefix of /5")
+	}
+}
+
+func TestSpillEquivalence(t *testing.T) {
+	// A spilled path must compare equal to its inline twin everywhere.
+	r := Root()
+	inline := r.Child(7).Child(1).Child(42)
+	spilled := r.Child(7).ChildSpilled(1).Child(42) // spill mid-path; children inherit it
+	if !spilled.Spilled() {
+		t.Fatal("ChildSpilled did not spill (or child dropped the spill)")
+	}
+	if inline.Spilled() {
+		t.Fatal("inline path spilled unexpectedly")
+	}
+	if !Equal(&inline, &spilled) {
+		t.Fatalf("spilled != inline: %s vs %s", spilled.String(), inline.String())
+	}
+	if LCADepth(&inline, &spilled) != 3 {
+		t.Fatalf("LCADepth(inline, spilled twin) = %d, want 3", LCADepth(&inline, &spilled))
+	}
+	deepInline := inline.Child(9)
+	deepSpilled := spilled.Child(9)
+	if !IsPrefix(&spilled, &deepInline) || !IsPrefix(&inline, &deepSpilled) {
+		t.Fatal("mixed-representation prefix test broken")
+	}
+}
+
+func TestDeepSpineSpillsNaturally(t *testing.T) {
+	p := Root()
+	spilledAt := -1
+	for d := 1; d <= 200; d++ {
+		p = p.Child(1)
+		if p.Spilled() && spilledAt < 0 {
+			spilledAt = d
+		}
+		if p.Depth() != d {
+			t.Fatalf("depth %d != %d", p.Depth(), d)
+		}
+	}
+	// One bit per Child(1) edge: the spill must begin right past the
+	// inline capacity.
+	if spilledAt != inlineBits+1 {
+		t.Fatalf("spilled at depth %d, want %d", spilledAt, inlineBits+1)
+	}
+	r := Root()
+	if !IsPrefix(&r, &p) || LCADepth(&r, &p) != 0 {
+		t.Fatal("root relation broken on deep spine")
+	}
+	if LCADepth(&p, &p) != 200 {
+		t.Fatalf("LCADepth(deep,deep) = %d", LCADepth(&p, &p))
+	}
+}
+
+// TestRandomTreesAgainstNaive grows random trees — mixing wide fanout
+// (large sequence numbers), deep spines, and random spill forcing — and
+// checks every pairwise IsPrefix/LCADepth answer against the naive
+// parent-walk oracle.
+func TestRandomTreesAgainstNaive(t *testing.T) {
+	for _, shape := range []struct {
+		name         string
+		pickParent   func(rng *rand.Rand, nodes []*node) *node
+		nodesPerTree int
+	}{
+		{"uniform", func(rng *rand.Rand, ns []*node) *node { return ns[rng.Intn(len(ns))] }, 220},
+		{"spine", func(rng *rand.Rand, ns []*node) *node {
+			if rng.Intn(4) != 0 {
+				return ns[len(ns)-1] // mostly extend the deepest chain
+			}
+			return ns[rng.Intn(len(ns))]
+		}, 200},
+		{"wide", func(rng *rand.Rand, ns []*node) *node {
+			if rng.Intn(3) != 0 {
+				return ns[0] // mostly fan out of the root: big sequence numbers
+			}
+			return ns[rng.Intn(len(ns))]
+		}, 220},
+	} {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(shape.name)) * 7919))
+			for trial := 0; trial < 8; trial++ {
+				root := &node{path: Root()}
+				nodes := []*node{root}
+				for len(nodes) < shape.nodesPerTree {
+					p := shape.pickParent(rng, nodes)
+					nodes = append(nodes, p.fork(rng.Intn(8) == 0))
+				}
+				for i := 0; i < 4000; i++ {
+					a := nodes[rng.Intn(len(nodes))]
+					b := nodes[rng.Intn(len(nodes))]
+					if got, want := IsPrefix(&a.path, &b.path), isAncestorNaive(a, b); got != want {
+						t.Fatalf("IsPrefix(%s, %s) = %v, naive says %v",
+							a.path.String(), b.path.String(), got, want)
+					}
+					if got, want := LCADepth(&a.path, &b.path), lcaDepthNaive(a, b); got != want {
+						t.Fatalf("LCADepth(%s, %s) = %d, naive says %d",
+							a.path.String(), b.path.String(), got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	p := Root().Child(1).Child(12).Child(3)
+	if got := p.String(); got != "/1/12/3" {
+		t.Fatalf("String = %q, want /1/12/3", got)
+	}
+	r := Root()
+	if r.String() != "/" {
+		t.Fatalf("root String = %q", r.String())
+	}
+}

@@ -1,0 +1,124 @@
+package hierarchy
+
+// Microbenchmarks comparing the ancestry oracles head to head. Each
+// benchmark runs once per oracle (forkpath = DePa fork-path words,
+// orderlist = retired seqlock'd Euler-tour list) over the same 3^6
+// balanced tree, uncontended and then contended: a background goroutine
+// performing a fork/merge churn loop, which on the legacy oracle bumps the
+// tree seqlock (forcing query retries) and on the fork-path oracle touches
+// nothing a query reads.
+
+import (
+	"math/rand"
+	"testing"
+
+	"mplgo/internal/mem"
+)
+
+func benchTree(mode AncestryMode) (*Tree, []*Heap) {
+	tr := NewWithAncestry(mode)
+	rng := rand.New(rand.NewSource(99))
+	heaps := []*Heap{tr.Root()}
+	frontier := []*Heap{tr.Root()}
+	for depth := 0; depth < 6; depth++ {
+		var next []*Heap
+		for _, p := range frontier {
+			for c := 0; c < 3; c++ {
+				h := tr.Fork(p)
+				heaps = append(heaps, h)
+				next = append(next, h)
+			}
+		}
+		frontier = next
+	}
+	rng.Shuffle(len(heaps), func(i, j int) { heaps[i], heaps[j] = heaps[j], heaps[i] })
+	return tr, heaps
+}
+
+// churn forks a child of p and immediately merges it back, forever: the
+// legacy oracle pays two label inserts and two deletes per round, each
+// bumping the seqlock that in-flight queries must reread.
+func churn(tr *Tree, p *Heap, stop <-chan struct{}) {
+	sp := mem.NewSpace()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		tr.Merge(tr.Fork(p), p, sp)
+	}
+}
+
+func ancestryModes() []struct {
+	name string
+	mode AncestryMode
+} {
+	return []struct {
+		name string
+		mode AncestryMode
+	}{
+		{"forkpath", AncestryForkPath},
+		{"orderlist", AncestryOrderList},
+	}
+}
+
+func BenchmarkIsAncestor(b *testing.B) {
+	for _, m := range ancestryModes() {
+		b.Run(m.name, func(b *testing.B) {
+			tr, heaps := benchTree(m.mode)
+			n := len(heaps)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.IsAncestor(heaps[i%n], heaps[(i*7+3)%n])
+			}
+		})
+	}
+}
+
+func BenchmarkIsAncestorContended(b *testing.B) {
+	for _, m := range ancestryModes() {
+		b.Run(m.name, func(b *testing.B) {
+			tr, heaps := benchTree(m.mode)
+			n := len(heaps)
+			stop := make(chan struct{})
+			go churn(tr, tr.Root(), stop)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.IsAncestor(heaps[i%n], heaps[(i*7+3)%n])
+			}
+			b.StopTimer()
+			close(stop)
+		})
+	}
+}
+
+func BenchmarkLCADepth(b *testing.B) {
+	for _, m := range ancestryModes() {
+		b.Run(m.name, func(b *testing.B) {
+			tr, heaps := benchTree(m.mode)
+			n := len(heaps)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.LCADepth(heaps[i%n], heaps[(i*7+3)%n])
+			}
+		})
+	}
+}
+
+func BenchmarkLCADepthContended(b *testing.B) {
+	for _, m := range ancestryModes() {
+		b.Run(m.name, func(b *testing.B) {
+			tr, heaps := benchTree(m.mode)
+			n := len(heaps)
+			stop := make(chan struct{})
+			go churn(tr, tr.Root(), stop)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.LCADepth(heaps[i%n], heaps[(i*7+3)%n])
+			}
+			b.StopTimer()
+			close(stop)
+		})
+	}
+}

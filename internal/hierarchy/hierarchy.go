@@ -5,20 +5,58 @@
 // child back into its parent. Heap identity is carried by chunks (package
 // mem), so a merge reassigns chunk ownership without visiting objects.
 // Ancestor queries — the core primitive of the entanglement barriers — are
-// answered in O(1) with an Euler-tour interval test over an
-// order-maintenance list (package order).
+// answered in O(1) from DePa-style fork-path words (package forkpath):
+// immutable per-heap values assigned at Fork, making IsAncestor a prefix
+// test and LCA a longest-common-prefix computation over pure loads, with
+// no shared mutable label space, no seqlock retries, and no rebalancing.
+//
+// The retired oracle — an Euler-tour interval test over a seqlock'd
+// order-maintenance list (package order) — is kept behind AncestryOrderList
+// for ablation, plus AncestryBoth, a differential-testing mode that runs
+// every query through both oracles and panics on divergence.
 package hierarchy
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"mplgo/internal/chaos"
+	"mplgo/internal/forkpath"
 	"mplgo/internal/mem"
 	"mplgo/internal/order"
 	"mplgo/internal/trace"
 )
+
+// AncestryMode selects the ancestry oracle of a Tree.
+type AncestryMode int
+
+const (
+	// AncestryForkPath answers ancestry from immutable DePa fork-path
+	// words: the default.
+	AncestryForkPath AncestryMode = iota
+	// AncestryOrderList answers from the legacy seqlock'd Euler-tour
+	// order-maintenance list, for ablation and regression comparison.
+	AncestryOrderList
+	// AncestryBoth maintains both structures, answers every query with
+	// both, and panics on divergence: the differential-testing mode.
+	AncestryBoth
+)
+
+// TreeStats counts ancestry-oracle traffic for trace attribution. The
+// pointer is nil in timing runs, so the hot path pays one nil test; the
+// runtime installs it alongside the tracer.
+type TreeStats struct {
+	// AncestryQueries counts IsAncestor/LCA/LCADepth calls that reached
+	// an oracle (equal-heap shortcuts excluded).
+	AncestryQueries atomic.Int64
+	_               [56]byte // keep the two counters off one cache line
+	// SeqlockRetries counts legacy order-list query attempts that
+	// overlapped a structural edit and had to retry; always zero with the
+	// fork-path oracle, which has no retry path at all.
+	SeqlockRetries atomic.Int64
+}
 
 // RootSet enumerates mutable values that must be treated as GC roots.
 // The callback receives the address of each root slot so collectors can
@@ -98,7 +136,24 @@ type Heap struct {
 	parent *Heap
 	depth  int
 
-	pre, post *order.Elem // Euler-tour interval; guarded by Tree.mu
+	// path is the heap's immutable fork path, assigned under Tree.mu at
+	// Fork and read lock-free by every ancestry query thereafter.
+	path forkpath.Path
+
+	// forkSeq numbers this heap's children in fork order (never reused);
+	// guarded by Tree.mu.
+	forkSeq uint64
+
+	// lcaKey/lcaVal are a one-entry unpin-depth cache for the entanglement
+	// barriers: the depth of LCA(this leaf, lcaKey). Owner-only plain
+	// fields (the barriers run on the strand owning the leaf, the same
+	// single-writer discipline as TraceRing). No invalidation is needed:
+	// ancestry between two heap objects is immutable, so a cached depth
+	// stays correct even after the key heap merges away.
+	lcaKey *Heap
+	lcaVal int
+
+	pre, post *order.Elem // legacy Euler-tour interval; nil in fork-path mode, guarded by Tree.mu
 
 	// Gate orders this heap's bulk phases — local collection and the merge
 	// that retires it — against in-flight entanglement slow paths. Readers
@@ -178,6 +233,9 @@ func (h *Heap) Depth() int { return h.depth }
 // Parent returns the heap's parent, or nil for the root.
 func (h *Heap) Parent() *Heap { return h.parent }
 
+// Path returns the heap's immutable fork path.
+func (h *Heap) Path() *forkpath.Path { return &h.path }
+
 // LiveChildren returns the number of unjoined child heaps.
 func (h *Heap) LiveChildren() int { return int(h.liveChildren.Load()) }
 
@@ -237,14 +295,23 @@ type heapBlock [heapBlockSize]atomic.Pointer[Heap]
 
 // Tree is the heap hierarchy.
 type Tree struct {
-	mu    sync.Mutex // serializes structural edits (Fork, Merge)
-	order *order.List
-	root  *Heap
+	mu sync.Mutex // serializes structural edits (Fork, Merge)
 
-	// ver is a seqlock over the Euler-tour labels: Fork bumps it to odd
-	// before touching the order list and back to even after. Order queries
-	// (IsAncestor, LCA) run lock-free and retry when they overlap an edit —
-	// an overlapping relabel can hand them a mix of old and new tags.
+	// ancestry selects the oracle; order is the legacy label list, nil in
+	// the default fork-path mode (no shared label space exists at all).
+	ancestry AncestryMode
+	order    *order.List
+	root     *Heap
+
+	// Stats, when non-nil, counts oracle traffic for trace attribution.
+	// Install before the computation starts; nil in timing runs.
+	Stats *TreeStats
+
+	// ver is a seqlock over the legacy Euler-tour labels: Fork bumps it to
+	// odd before touching the order list and back to even after. Legacy
+	// order queries run lock-free and retry when they overlap an edit — an
+	// overlapping relabel can hand them a mix of old and new tags. Unused
+	// (never bumped, never read) by the fork-path oracle.
 	ver atomic.Uint64
 
 	// spine is the growable two-level id→heap table. Readers resolve ids
@@ -265,20 +332,31 @@ type Tree struct {
 	chaos *chaos.Injector
 }
 
-// New creates a hierarchy containing only the root heap.
-func New() *Tree {
-	t := &Tree{order: order.NewList()}
+// New creates a hierarchy containing only the root heap, with the default
+// fork-path ancestry oracle.
+func New() *Tree { return NewWithAncestry(AncestryForkPath) }
+
+// NewWithAncestry creates a hierarchy with the given ancestry oracle. The
+// legacy order-maintenance list is built only when the mode asks for it.
+func NewWithAncestry(mode AncestryMode) *Tree {
+	t := &Tree{ancestry: mode}
 	spine := make([]atomic.Pointer[heapBlock], 1)
 	spine[0].Store(new(heapBlock))
 	t.spine.Store(&spine)
-	root := &Heap{ID: 1, depth: 0}
-	root.pre = t.order.Base().InsertAfter()
-	root.post = root.pre.InsertAfter()
+	root := &Heap{ID: 1, depth: 0, path: forkpath.Root()}
+	if mode != AncestryForkPath {
+		t.order = order.NewList()
+		root.pre = t.order.Base().InsertAfter()
+		root.post = root.pre.InsertAfter()
+	}
 	t.put(root)
 	t.nextID = 2
 	t.root = root
 	return t
 }
+
+// Ancestry returns the tree's ancestry oracle mode.
+func (t *Tree) Ancestry() AncestryMode { return t.ancestry }
 
 // put publishes h in the id table. Caller holds t.mu (or is New).
 func (t *Tree) put(h *Heap) {
@@ -360,29 +438,50 @@ func (t *Tree) Fork(parent *Heap) *Heap {
 	h := &Heap{ID: t.nextID, parent: parent, depth: parent.depth + 1}
 	h.Gate.Chaos = t.chaos
 	t.nextID++
-	// Nest the child's Euler interval immediately inside the parent's pre
-	// visit; sibling intervals stack leftward, which preserves nesting.
-	// The seqlock covers the inserts: they may relabel tags that racing
-	// order queries are reading. Both the seqlock close and the mutex
-	// release are deferred so that a label-space-exhaustion panic from
-	// InsertAfter unwinds without wedging concurrent order queries (which
-	// would otherwise spin on the odd version forever) — the runtime's
-	// panic-safe fork converts that panic into a Run error.
-	t.ver.Add(1)
-	defer t.ver.Add(1)
-	h.pre = parent.pre.InsertAfter()
-	h.post = h.pre.InsertAfter()
+	// The child's fork path extends the parent's by one edge code, keyed
+	// on the parent's (never reused) fork sequence number. The value is
+	// immutable from here on: ancestry queries read it with no
+	// synchronization. The chaos point forces the inline→vector spill
+	// promotion on shallow trees, where it would otherwise be unreachable.
+	parent.forkSeq++
+	if t.chaos != nil && t.chaos.Should(chaos.PathSpill) {
+		h.path = parent.path.ChildSpilled(parent.forkSeq)
+	} else {
+		h.path = parent.path.Child(parent.forkSeq)
+	}
+	if t.order != nil {
+		// Legacy oracle: nest the child's Euler interval immediately inside
+		// the parent's pre visit; sibling intervals stack leftward, which
+		// preserves nesting. The seqlock covers the inserts: they may
+		// relabel tags that racing order queries are reading. Both the
+		// seqlock close and the mutex release are deferred so that a
+		// label-space-exhaustion panic from InsertAfter unwinds without
+		// wedging concurrent order queries (which would otherwise spin on
+		// the odd version forever) — the runtime's panic-safe fork converts
+		// that panic into a Run error. None of this exists on the fork-path
+		// oracle: no labels, no seqlock, no exhaustion.
+		t.ver.Add(1)
+		defer t.ver.Add(1)
+		h.pre = parent.pre.InsertAfter()
+		h.post = h.pre.InsertAfter()
+	}
 	t.put(h)
 	parent.liveChildren.Add(1)
 	return h
 }
 
 // IsAncestor reports whether a is an ancestor of (or equal to) d.
-// Lock-free: the interval test runs under the tree's seqlock and retries
-// if a structural edit overlapped it.
+//
+// With the fork-path oracle (the default) this is a prefix test over a's
+// and d's immutable path words: pure loads, no retry path, safe from any
+// strand at any time. The legacy oracle's interval test runs under the
+// tree's seqlock and retries if a structural edit overlapped it.
 func (t *Tree) IsAncestor(a, d *Heap) bool {
 	if a == d {
 		return true
+	}
+	if s := t.Stats; s != nil {
+		s.AncestryQueries.Add(1)
 	}
 	if t.UseWalkAncestor {
 		for x := d; x != nil; x = x.parent {
@@ -392,6 +491,22 @@ func (t *Tree) IsAncestor(a, d *Heap) bool {
 		}
 		return false
 	}
+	if t.order == nil {
+		return forkpath.IsPrefix(&a.path, &d.path)
+	}
+	legacy := t.legacyIsAncestor(a, d)
+	if t.ancestry == AncestryBoth {
+		if fp := forkpath.IsPrefix(&a.path, &d.path); fp != legacy {
+			panic(fmt.Sprintf("hierarchy: ancestry oracles diverge: IsAncestor(%d,%d) forkpath=%v order=%v (paths %s, %s)",
+				a.ID, d.ID, fp, legacy, a.path.String(), d.path.String()))
+		}
+	}
+	return legacy
+}
+
+// legacyIsAncestor is the retired Euler-tour interval test: a seqlock read
+// over the order list's atomic tags.
+func (t *Tree) legacyIsAncestor(a, d *Heap) bool {
 	for {
 		v := t.ver.Load()
 		if v&1 == 0 {
@@ -400,17 +515,72 @@ func (t *Tree) IsAncestor(a, d *Heap) bool {
 				return ok
 			}
 		}
+		if s := t.Stats; s != nil {
+			s.SeqlockRetries.Add(1)
+		}
 		runtime.Gosched()
 	}
 }
 
-// LCA returns the least common ancestor of a and b. The whole parent walk
-// runs inside one seqlock attempt: parent pointers and depths are immutable
-// after Fork, and a consistent tag snapshot (version unchanged across the
-// walk) makes the interval tests coherent with each other.
+// LCADepth returns the depth of the least common ancestor of a and b —
+// the quantity the entanglement barriers actually need (the unpin depth).
+// With the fork-path oracle it is a longest-common-prefix computation over
+// immutable words, with no heap walk at all.
+func (t *Tree) LCADepth(a, b *Heap) int {
+	if a == b {
+		return a.depth
+	}
+	if t.order == nil && !t.UseWalkAncestor {
+		if s := t.Stats; s != nil {
+			s.AncestryQueries.Add(1)
+		}
+		return forkpath.LCADepth(&a.path, &b.path)
+	}
+	d := t.LCA(a, b).depth
+	if t.ancestry == AncestryBoth {
+		if fp := forkpath.LCADepth(&a.path, &b.path); fp != d {
+			panic(fmt.Sprintf("hierarchy: ancestry oracles diverge: LCADepth(%d,%d) forkpath=%d order=%d (paths %s, %s)",
+				a.ID, b.ID, fp, d, a.path.String(), b.path.String()))
+		}
+	}
+	return d
+}
+
+// UnpinDepth returns LCADepth(leaf, x) through leaf's one-entry cache.
+// Only the strand owning leaf may call it (the entanglement barriers'
+// single-writer discipline); repeated entangled reads against the same
+// concurrent heap — the common case in producer/consumer workloads — skip
+// the oracle entirely. The cache never needs invalidation because the
+// ancestry of two heap objects is immutable, even across merges.
+func (t *Tree) UnpinDepth(leaf, x *Heap) int {
+	if leaf.lcaKey == x {
+		return leaf.lcaVal
+	}
+	d := t.LCADepth(leaf, x)
+	leaf.lcaKey, leaf.lcaVal = x, d
+	return d
+}
+
+// LCA returns the least common ancestor of a and b. The fork-path oracle
+// computes the LCA's depth from the path words and walks a's (immutable)
+// parent chain down to it; the legacy oracle runs the whole walk inside
+// one seqlock attempt: parent pointers and depths are immutable after
+// Fork, and a consistent tag snapshot (version unchanged across the walk)
+// makes the interval tests coherent with each other.
 func (t *Tree) LCA(a, b *Heap) *Heap {
 	if a == b {
 		return a
+	}
+	if s := t.Stats; s != nil {
+		s.AncestryQueries.Add(1)
+	}
+	if t.order == nil && !t.UseWalkAncestor {
+		d := forkpath.LCADepth(&a.path, &b.path)
+		x := a
+		for x.depth > d {
+			x = x.parent
+		}
+		return x
 	}
 	if t.UseWalkAncestor {
 		for x := a; x != nil; x = x.parent {
@@ -434,6 +604,9 @@ func (t *Tree) LCA(a, b *Heap) *Heap {
 			if t.ver.Load() == v {
 				return t.root
 			}
+		}
+		if s := t.Stats; s != nil {
+			s.SeqlockRetries.Add(1)
 		}
 		runtime.Gosched()
 	}
@@ -535,10 +708,16 @@ func (t *Tree) Merge(child, parent *Heap, space *mem.Space) (unpinned int, unpin
 	// Readers re-admitted by the deferred EndCollect will fail ownership
 	// validation against the dead child and retry against the parent.
 
-	t.mu.Lock()
-	child.pre.Delete()
-	child.post.Delete()
-	t.mu.Unlock()
+	if t.order != nil {
+		// Legacy oracle only: retire the child's Euler interval under the
+		// tree mutex. The fork-path oracle keeps joins off the tree lock
+		// entirely — the child's path is immutable and still answers
+		// (historically exact) for any strand racing this merge.
+		t.mu.Lock()
+		child.pre.Delete()
+		child.post.Delete()
+		t.mu.Unlock()
+	}
 
 	parent.liveChildren.Add(-1)
 	return unpinned, unpinnedWords

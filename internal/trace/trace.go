@@ -111,6 +111,14 @@ const (
 	CtrPinnedPeakBytes
 	CtrLiveWords
 	CtrRetainedChunks
+	// CtrAncestryQueries samples the tree's cumulative ancestry-oracle
+	// query count (IsAncestor/LCA/LCADepth), for before/after attribution
+	// of the entangled hot path's ancestry traffic.
+	CtrAncestryQueries
+	// CtrSeqlockRetries samples the legacy order-list oracle's cumulative
+	// seqlock retry count; identically zero under the default fork-path
+	// oracle, which has no retry path.
+	CtrSeqlockRetries
 	ctrCounters // sentinel
 )
 
@@ -119,6 +127,8 @@ var counterNames = [ctrCounters]string{
 	CtrPinnedPeakBytes: "pinned_peak_bytes",
 	CtrLiveWords:       "live_words",
 	CtrRetainedChunks:  "retained_chunks",
+	CtrAncestryQueries: "ancestry_queries",
+	CtrSeqlockRetries:  "seqlock_retries",
 }
 
 func (c Counter) String() string {
