@@ -9,6 +9,7 @@
 //	mplgo-bench -exp lang       # T3: language comparison vs native Go
 //	mplgo-bench -exp entangle   # T4: entanglement cost metrics
 //	mplgo-bench -exp ablate     # F2: barrier-mode ablation
+//	mplgo-bench -exp elide      # E: mlang static barrier elision on/off
 //	mplgo-bench -exp spacecurve # F3: residency vs processors
 //	mplgo-bench -exp all        # everything above, in order
 //	mplgo-bench -exp trace      # traced run → Chrome trace_event JSON
@@ -41,7 +42,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: time|space|speedup|lang|entangle|ablate|spacecurve|stw|trace|all")
+	exp := flag.String("exp", "all", "experiment: time|space|speedup|lang|entangle|ablate|elide|spacecurve|stw|trace|all")
 	scale := flag.Int("scale", 1, "divide default problem sizes by this factor")
 	tracePath := flag.String("trace", "trace.json",
 		"output path for -exp trace (Chrome trace_event JSON; '-' for stdout)")
@@ -123,6 +124,7 @@ func main() {
 	run("lang", func() { tables.LangTable(sizes, w) })
 	run("entangle", func() { tables.EntangleTable(sizes, w) })
 	run("ablate", func() { tables.AblateFigure(sizes, w) })
+	run("elide", func() { tables.ElideTable(w) })
 	run("spacecurve", func() { tables.SpaceFigure(sizes, w) })
 	run("stw", func() { tables.STWTable(sizes, w) })
 
@@ -137,7 +139,7 @@ func main() {
 	}
 
 	switch *exp {
-	case "time", "space", "speedup", "lang", "entangle", "ablate", "spacecurve", "stw", "trace", "all":
+	case "time", "space", "speedup", "lang", "entangle", "ablate", "elide", "spacecurve", "stw", "trace", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -8,11 +8,13 @@
 //
 // Flags:
 //
-//	-e expr     evaluate an expression instead of a file
-//	-procs N    scheduler workers (default 1)
-//	-mode M     entanglement mode: manage (default), detect, unsafe
-//	-stats      print runtime statistics (GC, entanglement) to stderr
-//	-dis        print the compiled bytecode to stderr before running
+//	-e expr       evaluate an expression instead of a file
+//	-procs N      scheduler workers (default 1)
+//	-mode M       entanglement mode: manage (default), detect, unsafe
+//	-stats        print runtime statistics (GC, entanglement) to stderr
+//	-dis          print the compiled bytecode to stderr before running
+//	-dis-report   print per-site disentanglement verdicts to stderr
+//	-elide=false  disable static barrier elision (checked build)
 package main
 
 import (
@@ -30,6 +32,8 @@ func main() {
 	modeName := flag.String("mode", "manage", "entanglement mode: manage|detect|unsafe")
 	stats := flag.Bool("stats", false, "print runtime statistics")
 	dis := flag.Bool("dis", false, "print compiled bytecode")
+	disReport := flag.Bool("dis-report", false, "print per-site disentanglement verdicts")
+	elide := flag.Bool("elide", true, "compile with static barrier elision")
 	flag.Parse()
 
 	var src string
@@ -61,16 +65,38 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *disReport {
+		ast, err := mlang.Parse(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		an, err := mlang.Analyze(ast)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, an.Report())
+	}
+
 	if *dis {
 		ast, err := mlang.Parse(src)
 		if err == nil {
-			if prog, err := mlang.Compile(ast); err == nil {
+			var an *mlang.Analysis
+			if *elide {
+				an, _ = mlang.Analyze(ast)
+			}
+			if prog, err := mlang.CompileWith(ast, an); err == nil {
 				fmt.Fprint(os.Stderr, prog.Disassemble())
 			}
 		}
 	}
 
-	res, err := mlang.Run(src, mpl.Config{Procs: *procs, Mode: mode})
+	runner := mlang.Run
+	if !*elide {
+		runner = mlang.RunChecked
+	}
+	res, err := runner(src, mpl.Config{Procs: *procs, Mode: mode})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -81,9 +107,12 @@ func main() {
 	if *stats {
 		s := res.Runtime.EntStats()
 		c, copied, reclaimed := res.Runtime.GCStats()
+		es := res.Runtime.ElisionStats()
 		fmt.Fprintf(os.Stderr, "heaps: %d  steals: %d\n", res.Runtime.Tree().Count(), res.Runtime.Steals())
 		fmt.Fprintf(os.Stderr, "gc: %d collections, %d words copied, %d reclaimed\n", c, copied, reclaimed)
 		fmt.Fprintf(os.Stderr, "entanglement: %d reads, %d writes, %d pins, %d unpins, peak %d\n",
 			s.EntangledReads, s.EntangledWrites, s.Pins, s.Unpins, s.PinnedPeak)
+		fmt.Fprintf(os.Stderr, "elision: %d static regions, %d loads, %d stores, %d allocs\n",
+			es.StaticRegions, es.ElidedLoads, es.ElidedStores, es.ElidedAllocs)
 	}
 }

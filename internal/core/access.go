@@ -202,6 +202,90 @@ func (t *Task) Deref(cell mem.Ref) mem.Value { return t.Read(cell, 0) }
 // Assign writes a ref cell (ML's `r := v`).
 func (t *Task) Assign(cell mem.Ref, v mem.Value) { t.Write(cell, 0, v) }
 
+// Unchecked accessors. These are the execution targets of statically
+// proven disentangled accesses (mlang's barrier-elision compilation):
+// raw space loads/stores with no entanglement barrier and allocation with
+// no heap-limit polling. Their GC contract:
+//
+//   - ReadFast/DerefFast require the holder's heap to be on the reading
+//     task's heap path and every reference stored in it to point up-or-
+//     same on that path. LGC only moves objects of the collecting task's
+//     own leaf, and only when it has no live descendants — so path
+//     objects are stable under any concurrent collection, and the loaded
+//     reference needs no pin.
+//   - WriteFast/AssignFast additionally require any reference value being
+//     stored to point up-or-same relative to the holder: an up-pointer is
+//     exactly the class OnWrite classifies as free (no remembered-set
+//     entry, no candidate bit, no pin), so skipping the barrier loses
+//     nothing the collectors rely on. The SATB shade still runs when the
+//     concurrent collector is marking — elision removes the
+//     *entanglement* barrier, never a collector invariant.
+//   - AllocRefFast/AllocArrayFast bump-allocate without the budget check;
+//     they fall back to the managed path whenever the allocation should
+//     observe collection triggers (budget spent, residency limit,
+//     concurrent collector, chaos injection), so backpressure and
+//     safepoint semantics are identical in both builds.
+//
+// All of them charge the same abstract work as their checked twins, so
+// recorded work/span traces are comparable across builds; what changes is
+// the real instruction count per access.
+
+// ReadFast loads payload word i of o with no read barrier.
+func (t *Task) ReadFast(o mem.Ref, i int) mem.Value {
+	t.workAcc += costAccess
+	t.elidedLoads++
+	return t.rt.space.Load(o, i)
+}
+
+// WriteFast stores v into payload word i of o with no write barrier.
+func (t *Task) WriteFast(o mem.Ref, i int, v mem.Value) {
+	t.workAcc += costAccess
+	if t.cgcOn {
+		t.cgcSafepoint()
+		t.rt.ent.ShadeOverwritten(t.heap, o, i)
+	}
+	t.elidedStores++
+	t.rt.space.Store(o, i, v)
+}
+
+// DerefFast reads a ref cell with no read barrier.
+func (t *Task) DerefFast(cell mem.Ref) mem.Value { return t.ReadFast(cell, 0) }
+
+// AssignFast writes a ref cell with no write barrier.
+func (t *Task) AssignFast(cell mem.Ref, v mem.Value) { t.WriteFast(cell, 0, v) }
+
+// allocFastOK reports whether a proven allocation may skip the guarded
+// slow path entirely. Anything that wants a say at allocation time —
+// budget-triggered LGC, the residency limit, the concurrent collector's
+// safepoints, chaos injection — forces the managed path instead.
+func (t *Task) allocFastOK() bool {
+	return !t.cgcOn && t.rt.cfg.MaxHeapWords == 0 && !t.needGC()
+}
+
+// AllocRefFast allocates a ref cell for a statically-proven region:
+// straight bump allocation, no GC guard.
+func (t *Task) AllocRefFast(v mem.Value) mem.Ref {
+	if !t.allocFastOK() {
+		return t.AllocRef(v)
+	}
+	r := t.alloc.AllocRef(v)
+	t.staticAllocs++
+	t.bumpAlloc(2)
+	return r
+}
+
+// AllocArrayFast allocates an array for a statically-proven region:
+// straight bump allocation, no GC guard.
+func (t *Task) AllocArrayFast(n int, v mem.Value) mem.Ref {
+	if !t.allocFastOK() {
+		return t.AllocArray(n, v)
+	}
+	r := t.alloc.AllocArray(n, v)
+	t.staticAllocs++
+	t.bumpAlloc(int64(n) + 1)
+	return r
+}
+
 // CAS performs an atomic compare-and-swap on payload word i of o, through
 // the write barrier. It returns whether the swap happened. This backs the
 // concurrent data structures of the entangled benchmarks.

@@ -142,3 +142,85 @@ func BenchmarkAllocTuple(b *testing.B) {
 		}
 	})
 }
+
+// Unchecked twins of the benchmarks above: what a statically-proven
+// disentangled site pays after barrier elision. Compare against
+// BenchmarkReadImmediate / BenchmarkReadRefNonCandidate /
+// BenchmarkWriteImmediate / BenchmarkWriteRefSameHeap.
+
+func BenchmarkReadFast(b *testing.B) {
+	benchTask(b, Config{Procs: 1}, func(t *Task) {
+		arr := t.AllocArray(64, mem.Int(7))
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink += t.ReadFast(arr, i&63).AsInt()
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkReadRefFast(b *testing.B) {
+	benchTask(b, Config{Procs: 1}, func(t *Task) {
+		f := t.NewFrame(1)
+		f.Set(0, t.AllocArray(64, mem.Nil).Value())
+		for i := 0; i < 64; i++ {
+			box := t.AllocTuple(mem.Int(int64(i)))
+			t.Write(f.Ref(0), i, box.Value())
+		}
+		arr := f.Ref(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !t.ReadFast(arr, i&63).IsRef() {
+				b.Fatal("expected ref")
+			}
+		}
+		b.StopTimer()
+		f.Pop()
+	})
+}
+
+func BenchmarkWriteFast(b *testing.B) {
+	benchTask(b, Config{Procs: 1}, func(t *Task) {
+		arr := t.AllocArray(64, mem.Int(0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.WriteFast(arr, i&63, mem.Int(int64(i)))
+		}
+	})
+}
+
+func BenchmarkWriteRefFast(b *testing.B) {
+	benchTask(b, Config{Procs: 1}, func(t *Task) {
+		f := t.NewFrame(2)
+		f.Set(0, t.AllocArray(64, mem.Nil).Value())
+		f.Set(1, t.AllocTuple(mem.Int(42)).Value())
+		arr, box := f.Ref(0), f.Get(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.WriteFast(arr, i&63, box)
+		}
+		b.StopTimer()
+		f.Pop()
+	})
+}
+
+// BenchmarkAllocRef / BenchmarkAllocRefFast price the guarded vs
+// unguarded ref-cell allocation path.
+func BenchmarkAllocRef(b *testing.B) {
+	benchTask(b, Config{Procs: 1}, func(t *Task) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.AllocRef(mem.Int(int64(i)))
+		}
+	})
+}
+
+func BenchmarkAllocRefFast(b *testing.B) {
+	benchTask(b, Config{Procs: 1}, func(t *Task) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.AllocRefFast(mem.Int(int64(i)))
+		}
+	})
+}

@@ -166,8 +166,26 @@ type Runtime struct {
 	// and Run returns the first recorded error.
 	cancelled atomic.Bool
 
+	// Barrier-elision telemetry: totals of unchecked accesses executed
+	// (drained from task-local counters) plus the static-region count the
+	// language front end proved (SetStaticRegions).
+	elLoads   atomic.Int64
+	elStores  atomic.Int64
+	elAllocs  atomic.Int64
+	elRegions atomic.Int64
+
 	errMu sync.Mutex
 	err   error
+}
+
+// ElisionStats summarizes barrier elision for one runtime: how many
+// unchecked loads/stores/allocations actually executed and how many static
+// regions the front end proved disentangled.
+type ElisionStats struct {
+	StaticRegions int64
+	ElidedLoads   int64
+	ElidedStores  int64
+	ElidedAllocs  int64
 }
 
 // New creates a runtime.
@@ -315,6 +333,21 @@ func (r *Runtime) Tree() *hierarchy.Tree { return r.tree }
 
 // EntStats returns the entanglement cost metrics.
 func (r *Runtime) EntStats() entangle.StatsSnapshot { return r.ent.Stats.Snapshot() }
+
+// SetStaticRegions records the number of statically-proven disentangled
+// regions for the computation (reported by a language front end's
+// analysis; zero when no elision is in play).
+func (r *Runtime) SetStaticRegions(n int64) { r.elRegions.Store(n) }
+
+// ElisionStats returns the barrier-elision totals.
+func (r *Runtime) ElisionStats() ElisionStats {
+	return ElisionStats{
+		StaticRegions: r.elRegions.Load(),
+		ElidedLoads:   r.elLoads.Load(),
+		ElidedStores:  r.elStores.Load(),
+		ElidedAllocs:  r.elAllocs.Load(),
+	}
+}
 
 // GCStats reports collection totals.
 func (r *Runtime) GCStats() (collections, copiedWords, reclaimedWords int64) {

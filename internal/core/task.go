@@ -54,6 +54,14 @@ type Task struct {
 	sinceGC  int64
 	barriers bool
 
+	// Elision telemetry, bumped by the Fast accessors as plain task-local
+	// counters (the whole point of elision is to keep atomics off the access
+	// path) and drained into the runtime's atomic totals at finish and at
+	// collections (flushElision).
+	elidedLoads  int64
+	elidedStores int64
+	staticAllocs int64
+
 	// Concurrent-collector handshake state (see cgc.go). cgcOn caches
 	// rt.cgc != nil so every hook below is one branch when CGC is off;
 	// cgcPark is the run/parked/claimed word the collector claims parked
@@ -89,6 +97,7 @@ func (r *Runtime) newTask(w *sched.Worker, h *hierarchy.Heap, node *sim.Node) *T
 // finish detaches the task from its heap at the end of its strand.
 func (t *Task) finish() {
 	t.flushWork()
+	t.flushElision()
 	t.syncChunks()
 	t.heap.RemoveRootSet(t)
 	if t.cgcOn {
@@ -119,6 +128,23 @@ func (t *Task) Roots(visit func(*mem.Value)) {
 // The cost lands in a task-local accumulator; flushWork attributes it to
 // the current recording segment at the next fork/join boundary.
 func (t *Task) Work(n int64) { t.workAcc += n }
+
+// flushElision drains the task-local elision counters into the runtime
+// totals surfaced by Runtime.ElisionStats.
+func (t *Task) flushElision() {
+	if t.elidedLoads != 0 {
+		t.rt.elLoads.Add(t.elidedLoads)
+		t.elidedLoads = 0
+	}
+	if t.elidedStores != 0 {
+		t.rt.elStores.Add(t.elidedStores)
+		t.elidedStores = 0
+	}
+	if t.staticAllocs != 0 {
+		t.rt.elAllocs.Add(t.staticAllocs)
+		t.staticAllocs = 0
+	}
+}
 
 // flushWork drains the batched work accumulator into the task's current
 // recording segment. It must run before every reassignment of t.node so
@@ -202,6 +228,11 @@ func (t *Task) collectNow() bool {
 			ring.Emit(trace.EvCounter, d, uint64(trace.CtrAncestryQueries), uint64(s.AncestryQueries.Load()))
 			ring.Emit(trace.EvCounter, d, uint64(trace.CtrSeqlockRetries), uint64(s.SeqlockRetries.Load()))
 		}
+		t.flushElision()
+		es := t.rt.ElisionStats()
+		ring.Emit(trace.EvCounter, d, uint64(trace.CtrStaticRegions), uint64(es.StaticRegions))
+		ring.Emit(trace.EvCounter, d, uint64(trace.CtrElidedLoads), uint64(es.ElidedLoads))
+		ring.Emit(trace.EvCounter, d, uint64(trace.CtrElidedStores), uint64(es.ElidedStores))
 	}
 	t.alloc.Retarget(t.heap.ID)
 	t.Work(res.CopiedWords * costGCWord)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mplgo/internal/hierarchy"
+	"mplgo/internal/mem"
 	"mplgo/internal/trace"
 )
 
@@ -50,6 +51,50 @@ func TestAncestryCountersReachTrace(t *testing.T) {
 	}
 	if max, ok := s.CounterMax[trace.CtrAncestryQueries]; !ok || max == 0 {
 		t.Fatalf("ancestry_queries missing from trace summary: %v", s.CounterMax)
+	}
+}
+
+// TestElisionCountersReachTrace drives the unchecked accessors under a
+// small budget with tracing on and checks the elision counters flow end
+// to end: task-local counts drain into the runtime totals, collection
+// sites sample them into counter events, and the summary surfaces them by
+// name alongside ancestry_queries.
+func TestElisionCountersReachTrace(t *testing.T) {
+	tracer := trace.NewTracer(2, 1<<14)
+	rt := New(Config{Procs: 1, HeapBudgetWords: 512, Tracer: tracer})
+	rt.SetStaticRegions(3)
+	trace.Enable()
+	_, err := rt.Run(func(tk *Task) mem.Value {
+		r := tk.AllocRefFast(mem.Int(0))
+		for i := 0; i < 2000; i++ {
+			tk.WriteFast(r, 0, mem.Int(tk.ReadFast(r, 0).AsInt()+1))
+			r = tk.AllocRefFast(tk.ReadFast(r, 0))
+		}
+		return tk.ReadFast(r, 0)
+	})
+	trace.Disable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := rt.ElisionStats()
+	if es.StaticRegions != 3 || es.ElidedLoads == 0 || es.ElidedStores == 0 || es.ElidedAllocs == 0 {
+		t.Fatalf("elision totals not accumulated: %+v", es)
+	}
+	if s := rt.EntStats(); s.SlowReads != 0 {
+		t.Fatalf("unchecked accessors entered the slow path %d times", s.SlowReads)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tracer); err != nil {
+		t.Fatal(err)
+	}
+	s, err := trace.Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []trace.Counter{trace.CtrStaticRegions, trace.CtrElidedLoads, trace.CtrElidedStores} {
+		if max, ok := s.CounterMax[c]; !ok || max == 0 {
+			t.Fatalf("%v missing from trace summary: %v", c, s.CounterMax)
+		}
 	}
 }
 

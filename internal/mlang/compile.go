@@ -35,6 +35,17 @@ const (
 	opReduce                  // pop f, pop z, pop array, fold in parallel
 	opPrint                   // pop integer, print it, push unit
 	opPop                     // pop and discard
+
+	// Unchecked variants emitted for sites the disentanglement analysis
+	// proved safe: raw mem loads/stores, no entangle barriers, bump
+	// allocation without heap-limit polling (budget pressure falls back
+	// inside the accessor, not here).
+	opRefFast    // opRef via Task.AllocRefFast
+	opDerefFast  // opDeref via Task.DerefFast (no read barrier)
+	opAssignFast // opAssign via Task.AssignFast (no write barrier)
+	opArrayFast  // opArray via Task.AllocArrayFast
+	opSubFast    // opSub via Task.ReadFast
+	opUpdateFast // opUpdate via Task.WriteFast
 )
 
 // instr is one VM instruction.
@@ -88,11 +99,19 @@ type fnCtx struct {
 // compiler holds the program being built.
 type compiler struct {
 	prog *Program
+	an   *Analysis // nil compiles every access through the managed barriers
 }
 
-// Compile lowers a type-checked expression to bytecode.
+// Compile lowers a type-checked expression to bytecode with every access
+// on the managed barriers (the checked build).
 func Compile(e Expr) (*Program, error) {
-	c := &compiler{prog: &Program{}}
+	return CompileWith(e, nil)
+}
+
+// CompileWith lowers e to bytecode, consulting an (when non-nil) to emit
+// unchecked opcodes at sites the disentanglement analysis proved safe.
+func CompileWith(e Expr, an *Analysis) (*Program, error) {
+	c := &compiler{prog: &Program{}, an: an}
 	main := &fnCode{name: "main"}
 	c.prog.Funcs = append(c.prog.Funcs, main)
 	ctx := &fnCtx{fn: main, param: "", capKeys: map[string]int{}}
@@ -381,32 +400,32 @@ func (c *compiler) prim(ctx *fnCtx, e *Prim) error {
 		if err := args(1); err != nil {
 			return err
 		}
-		ctx.emit(instr{op: opRef}, 0)
+		ctx.emit(instr{op: pick(c.an, e, opRef, opRefFast)}, 0)
 	case "!":
 		if err := args(1); err != nil {
 			return err
 		}
-		ctx.emit(instr{op: opDeref}, 0)
+		ctx.emit(instr{op: pick(c.an, e, opDeref, opDerefFast)}, 0)
 	case ":=":
 		if err := args(2); err != nil {
 			return err
 		}
-		ctx.emit(instr{op: opAssign}, -1)
+		ctx.emit(instr{op: pick(c.an, e, opAssign, opAssignFast)}, -1)
 	case "array":
 		if err := args(2); err != nil {
 			return err
 		}
-		ctx.emit(instr{op: opArray}, -1)
+		ctx.emit(instr{op: pick(c.an, e, opArray, opArrayFast)}, -1)
 	case "sub":
 		if err := args(2); err != nil {
 			return err
 		}
-		ctx.emit(instr{op: opSub}, -1)
+		ctx.emit(instr{op: pick(c.an, e, opSub, opSubFast)}, -1)
 	case "update":
 		if err := args(3); err != nil {
 			return err
 		}
-		ctx.emit(instr{op: opUpdate}, -2)
+		ctx.emit(instr{op: pick(c.an, e, opUpdate, opUpdateFast)}, -2)
 	case "length":
 		if err := args(1); err != nil {
 			return err
@@ -416,12 +435,14 @@ func (c *compiler) prim(ctx *fnCtx, e *Prim) error {
 		if err := args(2); err != nil {
 			return err
 		}
-		ctx.emit(instr{op: opTabulate}, -1)
+		// b=1 marks immediate elements: the VM's internal fill loop uses
+		// the unchecked element stores.
+		ctx.emit(instr{op: opTabulate, b: fastFlag(c.an, e)}, -1)
 	case "reduce":
 		if err := args(3); err != nil {
 			return err
 		}
-		ctx.emit(instr{op: opReduce}, -2)
+		ctx.emit(instr{op: opReduce, b: fastFlag(c.an, e)}, -2)
 	case "print":
 		if err := args(1); err != nil {
 			return err
@@ -437,6 +458,22 @@ func (c *compiler) prim(ctx *fnCtx, e *Prim) error {
 		return typeErr(e, "internal: unknown primitive %q", e.Op)
 	}
 	return nil
+}
+
+// pick selects the unchecked opcode when the analysis proved the site.
+func pick(an *Analysis, e Expr, checked, fast opcode) opcode {
+	if an.FastSite(e) {
+		return fast
+	}
+	return checked
+}
+
+// fastFlag is pick for opcodes that carry the proof as a flag instead.
+func fastFlag(an *Analysis, e Expr) int {
+	if an.FastSite(e) {
+		return 1
+	}
+	return 0
 }
 
 // Disassemble renders the program for debugging and tests.

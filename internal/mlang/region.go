@@ -1,0 +1,153 @@
+package mlang
+
+// Heap-region annotations for the disentanglement effect discipline.
+//
+// Every ref and array type carries a region (Reg): a union-find variable
+// whose resolved value is either *concrete* — "every cell of this type is
+// allocated at exactly one static scope" — or ⊤ ("aliased across
+// conflicting scopes, or escaping where the checker cannot see"). Regions
+// ride along ordinary Hindley–Milner unification: unifying two ref (or
+// array) types unifies their regions, and unifying two *different*
+// concrete regions is NOT a type error — the merged region collapses to ⊤
+// and the affected access sites merely lose their elision proof and fall
+// back to the managed barriers.
+//
+// Scopes model the heap path. Within one function body, inference threads
+// a current scope through the expression in evaluation order; `par` in
+// scope σ gives its branches fresh scopes σL, σR and continues afterwards
+// in a join scope σ2 with ancestry edges σ ⊑ σL, σ ⊑ σR, σ ⊑ σ2,
+// σL ⊑ σ2, σR ⊑ σ2. The reading of s ⊑ t is: within one activation of the
+// body, an object allocated at scope s is on the task's heap path (its
+// own leaf or an ancestor heap) whenever execution is at scope t — branch
+// allocations merge into the parent heap at the join, which is exactly
+// the σL ⊑ σ2 edge. Scopes of different bodies are incomparable: a
+// function body may be activated from many tasks, so nothing relates its
+// scopes to its callers' heaps. (Values reach a body from another
+// activation only through parameters, captures, returns, or escaping
+// cells; all of those either unify the regions involved — collapsing
+// conflicting ones to ⊤ — or are rejected by the cross-body check.)
+type Reg struct {
+	parent *Reg
+	state  regState
+	body   int32 // allocation body, valid when state == regConcrete
+	scope  int32 // allocation scope within body, valid when regConcrete
+	id     int   // stable id for reports (creation order)
+}
+
+type regState uint8
+
+const (
+	regVar      regState = iota // unconstrained variable
+	regConcrete                 // allocated at exactly one static scope
+	regTop                      // ⊤: aliased across scopes or escaping
+)
+
+// find resolves the union-find representative with path halving.
+func (r *Reg) find() *Reg {
+	for r.parent != nil {
+		if r.parent.parent != nil {
+			r.parent = r.parent.parent
+		}
+		r = r.parent
+	}
+	return r
+}
+
+// unifyReg merges two regions. nil operands (types built before analysis
+// existed, or synthesized in tests) are ignored.
+func unifyReg(a, b *Reg) {
+	if a == nil || b == nil {
+		return
+	}
+	a, b = a.find(), b.find()
+	if a == b {
+		return
+	}
+	switch {
+	case a.state == regTop:
+		b.parent = a
+	case b.state == regTop:
+		a.parent = b
+	case a.state == regVar:
+		a.parent = b
+	case b.state == regVar:
+		b.parent = a
+	default: // both concrete: equal scopes merge, different ones collapse
+		if a.body == b.body && a.scope == b.scope {
+			b.parent = a
+		} else {
+			a.state = regTop
+			b.parent = a
+		}
+	}
+}
+
+// scopeRef names one scope of one body.
+type scopeRef struct{ body, scope int32 }
+
+// bodyInfo is the scope DAG of one function body. anc[s] holds the strict
+// ancestors of scope s under ⊑ (reachability); bodies are small, so an
+// explicit set per scope is fine.
+type bodyInfo struct {
+	anc []map[int32]struct{}
+}
+
+// site records one barriered access or allocation the verdict pass will
+// rule on: the primitive expression, where it executes (body+scope), the
+// holder/alloc region, and the element type (resolved at verdict time for
+// the immediacy and stored-value-region tests).
+type site struct {
+	e    *Prim
+	at   scopeRef
+	reg  *Reg // holder region ("!", ":=", "sub", "update", "reduce") or the fresh region ("ref", "array", "tabulate")
+	elem Type
+}
+
+// newBody starts a fresh body with root scope 0.
+func (c *checker) newBody() scopeRef {
+	c.bodies = append(c.bodies, &bodyInfo{anc: []map[int32]struct{}{{}}})
+	return scopeRef{body: int32(len(c.bodies) - 1), scope: 0}
+}
+
+// newScope adds a scope to body whose ancestors are the union of each
+// pred's ancestors plus the pred itself.
+func (c *checker) newScope(body int32, preds ...int32) scopeRef {
+	b := c.bodies[body]
+	anc := map[int32]struct{}{}
+	for _, p := range preds {
+		for a := range b.anc[p] {
+			anc[a] = struct{}{}
+		}
+		anc[p] = struct{}{}
+	}
+	b.anc = append(b.anc, anc)
+	return scopeRef{body: body, scope: int32(len(b.anc) - 1)}
+}
+
+// onPath reports s ⊑ t within one body: objects allocated at s are on the
+// heap path at t.
+func (c *checker) onPath(body, s, t int32) bool {
+	if s == t {
+		return true
+	}
+	_, ok := c.bodies[body].anc[t][s]
+	return ok
+}
+
+// concreteReg mints the region of an allocation site at the current scope.
+func (c *checker) concreteReg() *Reg {
+	c.nregs++
+	return &Reg{state: regConcrete, body: c.at.body, scope: c.at.scope, id: c.nregs}
+}
+
+// varReg mints an unconstrained region variable (for ref/array types the
+// checker invents at use sites).
+func (c *checker) varReg() *Reg {
+	c.nregs++
+	return &Reg{state: regVar, id: c.nregs}
+}
+
+// record notes an access/allocation site for the verdict pass.
+func (c *checker) record(e *Prim, reg *Reg, elem Type) {
+	c.sites = append(c.sites, &site{e: e, at: c.at, reg: reg, elem: elem})
+}

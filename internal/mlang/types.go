@@ -42,13 +42,20 @@ type TArrow struct{ Dom, Cod Type }
 
 func (t *TArrow) String() string { return "(" + t.Dom.String() + " -> " + t.Cod.String() + ")" }
 
-// TRef is a mutable cell type.
-type TRef struct{ Elem Type }
+// TRef is a mutable cell type. R is its heap-region annotation (see
+// region.go); String omits it so type rendering is unchanged.
+type TRef struct {
+	Elem Type
+	R    *Reg
+}
 
 func (t *TRef) String() string { return t.Elem.String() + " ref" }
 
-// TArray is a mutable array type.
-type TArray struct{ Elem Type }
+// TArray is a mutable array type. R is its heap-region annotation.
+type TArray struct {
+	Elem Type
+	R    *Reg
+}
 
 func (t *TArray) String() string { return t.Elem.String() + " array" }
 
@@ -65,9 +72,23 @@ func (t *TVar) String() string {
 	return fmt.Sprintf("'t%d", t.ID)
 }
 
-// checker performs inference.
+// checker performs inference. Alongside Hindley–Milner unification it
+// threads the disentanglement effect analysis: a current scope (c.at,
+// advanced in evaluation order; par introduces branch and join scopes),
+// per-body scope DAGs, region variables on ref/array types, and a record
+// of every barriered access site for the verdict pass (see analyze.go).
 type checker struct {
-	nvars int
+	nvars  int
+	nregs  int
+	bodies []*bodyInfo
+	sites  []*site
+	at     scopeRef
+}
+
+func newChecker() *checker {
+	c := &checker{}
+	c.at = c.newBody() // body 0 is the program's main body
+	return c
 }
 
 func (c *checker) fresh() *TVar {
@@ -146,10 +167,12 @@ func (c *checker) unify(a, b Type, e Expr) error {
 		}
 	case *TRef:
 		if bt, ok := b.(*TRef); ok {
+			unifyReg(at.R, bt.R)
 			return c.unify(at.Elem, bt.Elem, e)
 		}
 	case *TArray:
 		if bt, ok := b.(*TArray); ok {
+			unifyReg(at.R, bt.R)
 			return c.unify(at.Elem, bt.Elem, e)
 		}
 	}
@@ -181,9 +204,11 @@ func (env *tenv) bind(name string, t Type) *tenv {
 	return &tenv{name: name, typ: t, next: env}
 }
 
-// Check infers the type of a program and returns it.
+// Check infers the type of a program and returns it. (The region/effect
+// machinery runs too but its site records are discarded; use Analyze to
+// keep them.)
 func Check(e Expr) (Type, error) {
-	c := &checker{}
+	c := newChecker()
 	return c.infer(nil, e)
 }
 
@@ -205,7 +230,12 @@ func (c *checker) infer(env *tenv, e Expr) (Type, error) {
 		return t, nil
 	case *Fn:
 		dom := c.fresh()
+		// A lambda body is its own scope world: it may be activated from
+		// any task, so none of its scopes relate to the enclosing body's.
+		saved := c.at
+		c.at = c.newBody()
 		cod, err := c.infer(env.bind(e.Param, dom), e.Body)
+		c.at = saved
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +264,10 @@ func (c *checker) infer(env *tenv, e Expr) (Type, error) {
 		dom, cod := c.fresh(), c.fresh()
 		ft := &TArrow{Dom: dom, Cod: cod}
 		fenv := env.bind(e.Name, ft).bind(e.Param, dom)
+		saved := c.at
+		c.at = c.newBody()
 		bt, err := c.infer(fenv, e.FBody)
+		c.at = saved
 		if err != nil {
 			return nil, err
 		}
@@ -250,13 +283,25 @@ func (c *checker) infer(env *tenv, e Expr) (Type, error) {
 		if err := c.unify(ct, TBool, e.Cond); err != nil {
 			return nil, err
 		}
+		// Branches run in the current scope (sequential alternatives); a
+		// par inside a branch advances it, so the continuation resumes in
+		// a scope reachable from either branch's end. Holding a value of a
+		// branch-internal region proves that branch ran, so the union of
+		// both ends' ancestries is sound.
+		s0 := c.at
 		tt, err := c.infer(env, e.Then)
 		if err != nil {
 			return nil, err
 		}
+		s1 := c.at
+		c.at = s0
 		et, err := c.infer(env, e.Else)
 		if err != nil {
 			return nil, err
+		}
+		s2 := c.at
+		if s1 != s0 || s2 != s0 {
+			c.at = c.newScope(s0.body, s1.scope, s2.scope)
 		}
 		if err := c.unify(tt, et, e); err != nil {
 			return nil, err
@@ -286,14 +331,23 @@ func (c *checker) infer(env *tenv, e Expr) (Type, error) {
 		}
 		return tt.Elems[e.Index-1], nil
 	case *Par:
+		// par in scope σ: branches get fresh child scopes σL, σR; the
+		// continuation runs in a join scope σ2 on whose heap path both
+		// branches' allocations sit (their heaps merged at the join).
+		enter := c.at
+		c.at = c.newScope(enter.body, enter.scope)
 		lt, err := c.infer(env, e.Left)
 		if err != nil {
 			return nil, err
 		}
+		lEnd := c.at.scope
+		c.at = c.newScope(enter.body, enter.scope)
 		rt, err := c.infer(env, e.Right)
 		if err != nil {
 			return nil, err
 		}
+		rEnd := c.at.scope
+		c.at = c.newScope(enter.body, enter.scope, lEnd, rEnd)
 		return &TTuple{Elems: []Type{lt, rt}}, nil
 	case *Prim:
 		return c.inferPrim(env, e)
@@ -350,16 +404,20 @@ func (c *checker) inferPrim(env *tenv, e *Prim) (Type, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &TRef{Elem: t}, nil
+		r := c.concreteReg()
+		c.record(e, r, t)
+		return &TRef{Elem: t, R: r}, nil
 	case "!":
 		t, err := arg(0)
 		if err != nil {
 			return nil, err
 		}
 		el := c.fresh()
-		if err := c.unify(t, &TRef{Elem: el}, e); err != nil {
+		r := c.varReg()
+		if err := c.unify(t, &TRef{Elem: el, R: r}, e); err != nil {
 			return nil, err
 		}
+		c.record(e, r, el)
 		return el, nil
 	case ":=":
 		t, err := arg(0)
@@ -367,12 +425,14 @@ func (c *checker) inferPrim(env *tenv, e *Prim) (Type, error) {
 			return nil, err
 		}
 		el := c.fresh()
-		if err := c.unify(t, &TRef{Elem: el}, e.Args[0]); err != nil {
+		r := c.varReg()
+		if err := c.unify(t, &TRef{Elem: el, R: r}, e.Args[0]); err != nil {
 			return nil, err
 		}
 		if err := want(1, el); err != nil {
 			return nil, err
 		}
+		c.record(e, r, el)
 		return TUnit, nil
 	case "array":
 		if err := want(0, TInt); err != nil {
@@ -382,19 +442,23 @@ func (c *checker) inferPrim(env *tenv, e *Prim) (Type, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &TArray{Elem: t}, nil
+		r := c.concreteReg()
+		c.record(e, r, t)
+		return &TArray{Elem: t, R: r}, nil
 	case "sub":
 		t, err := arg(0)
 		if err != nil {
 			return nil, err
 		}
 		el := c.fresh()
-		if err := c.unify(t, &TArray{Elem: el}, e.Args[0]); err != nil {
+		r := c.varReg()
+		if err := c.unify(t, &TArray{Elem: el, R: r}, e.Args[0]); err != nil {
 			return nil, err
 		}
 		if err := want(1, TInt); err != nil {
 			return nil, err
 		}
+		c.record(e, r, el)
 		return el, nil
 	case "update":
 		t, err := arg(0)
@@ -402,7 +466,8 @@ func (c *checker) inferPrim(env *tenv, e *Prim) (Type, error) {
 			return nil, err
 		}
 		el := c.fresh()
-		if err := c.unify(t, &TArray{Elem: el}, e.Args[0]); err != nil {
+		r := c.varReg()
+		if err := c.unify(t, &TArray{Elem: el, R: r}, e.Args[0]); err != nil {
 			return nil, err
 		}
 		if err := want(1, TInt); err != nil {
@@ -411,6 +476,7 @@ func (c *checker) inferPrim(env *tenv, e *Prim) (Type, error) {
 		if err := want(2, el); err != nil {
 			return nil, err
 		}
+		c.record(e, r, el)
 		return TUnit, nil
 	case "length":
 		t, err := arg(0)
@@ -418,7 +484,7 @@ func (c *checker) inferPrim(env *tenv, e *Prim) (Type, error) {
 			return nil, err
 		}
 		el := c.fresh()
-		if err := c.unify(t, &TArray{Elem: el}, e.Args[0]); err != nil {
+		if err := c.unify(t, &TArray{Elem: el, R: c.varReg()}, e.Args[0]); err != nil {
 			return nil, err
 		}
 		return TInt, nil
@@ -432,12 +498,15 @@ func (c *checker) inferPrim(env *tenv, e *Prim) (Type, error) {
 		if err := want(1, &TArrow{Dom: TInt, Cod: el}); err != nil {
 			return nil, err
 		}
-		return &TArray{Elem: el}, nil
+		r := c.concreteReg()
+		c.record(e, r, el)
+		return &TArray{Elem: el, R: r}, nil
 	case "reduce":
 		// reduce (a, z, f) folds a in parallel; z must be an identity of
 		// the (associative) combiner f for a deterministic result.
 		el := c.fresh()
-		if err := want(0, &TArray{Elem: el}); err != nil {
+		r := c.varReg()
+		if err := want(0, &TArray{Elem: el, R: r}); err != nil {
 			return nil, err
 		}
 		if err := want(1, el); err != nil {
@@ -446,6 +515,7 @@ func (c *checker) inferPrim(env *tenv, e *Prim) (Type, error) {
 		if err := want(2, &TArrow{Dom: el, Cod: &TArrow{Dom: el, Cod: el}}); err != nil {
 			return nil, err
 		}
+		c.record(e, r, el)
 		return el, nil
 	case "print":
 		if err := want(0, TInt); err != nil {

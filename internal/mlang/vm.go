@@ -123,12 +123,21 @@ func (m *Machine) call(t *mpl.Task, closure, arg mem.Value) (mem.Value, error) {
 			push(t.Read(tup.Ref(), ins.a))
 		case opRef:
 			push(t.AllocRef(pop()).Value())
+		case opRefFast:
+			push(t.AllocRefFast(pop()).Value())
 		case opDeref:
 			push(t.Deref(pop().Ref()))
+		case opDerefFast:
+			push(t.DerefFast(pop().Ref()))
 		case opAssign:
 			v := pop()
 			cell := pop()
 			t.Assign(cell.Ref(), v)
+			push(mem.Int(0))
+		case opAssignFast:
+			v := pop()
+			cell := pop()
+			t.AssignFast(cell.Ref(), v)
 			push(mem.Int(0))
 		case opArray:
 			v := pop()
@@ -137,6 +146,13 @@ func (m *Machine) call(t *mpl.Task, closure, arg mem.Value) (mem.Value, error) {
 				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("array size %d", n)}
 			}
 			push(t.AllocArray(int(n), v).Value())
+		case opArrayFast:
+			v := pop()
+			n := pop().AsInt()
+			if n < 0 {
+				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("array size %d", n)}
+			}
+			push(t.AllocArrayFast(int(n), v).Value())
 		case opSub:
 			i := pop().AsInt()
 			arr := pop().Ref()
@@ -144,6 +160,13 @@ func (m *Machine) call(t *mpl.Task, closure, arg mem.Value) (mem.Value, error) {
 				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("index %d out of bounds [0,%d)", i, t.Length(arr))}
 			}
 			push(t.Read(arr, int(i)))
+		case opSubFast:
+			i := pop().AsInt()
+			arr := pop().Ref()
+			if i < 0 || int(i) >= t.Length(arr) {
+				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("index %d out of bounds [0,%d)", i, t.Length(arr))}
+			}
+			push(t.ReadFast(arr, int(i)))
 		case opUpdate:
 			v := pop()
 			i := pop().AsInt()
@@ -152,6 +175,15 @@ func (m *Machine) call(t *mpl.Task, closure, arg mem.Value) (mem.Value, error) {
 				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("index %d out of bounds [0,%d)", i, t.Length(arr))}
 			}
 			t.Write(arr, int(i), v)
+			push(mem.Int(0))
+		case opUpdateFast:
+			v := pop()
+			i := pop().AsInt()
+			arr := pop().Ref()
+			if i < 0 || int(i) >= t.Length(arr) {
+				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("index %d out of bounds [0,%d)", i, t.Length(arr))}
+			}
+			t.WriteFast(arr, int(i), v)
 			push(mem.Int(0))
 		case opLen:
 			push(mem.Int(int64(t.Length(pop().Ref()))))
@@ -184,7 +216,7 @@ func (m *Machine) call(t *mpl.Task, closure, arg mem.Value) (mem.Value, error) {
 			if n < 0 {
 				return mem.Nil, &RuntimeError{Msg: fmt.Sprintf("tabulate size %d", n)}
 			}
-			v, err := m.tabulate(t, fcl, int(n))
+			v, err := m.tabulate(t, fcl, int(n), ins.b == 1)
 			if err != nil {
 				return mem.Nil, err
 			}
@@ -193,7 +225,7 @@ func (m *Machine) call(t *mpl.Task, closure, arg mem.Value) (mem.Value, error) {
 			fcl := pop()
 			z := pop()
 			arr := pop()
-			v, err := m.reduce(t, arr, z, fcl, 0, t.Length(arr.Ref()))
+			v, err := m.reduce(t, arr, z, fcl, 0, t.Length(arr.Ref()), ins.b == 1)
 			if err != nil {
 				return mem.Nil, err
 			}
@@ -217,8 +249,11 @@ func (m *Machine) call(t *mpl.Task, closure, arg mem.Value) (mem.Value, error) {
 // tabulate builds [| f 0, ..., f (n-1) |] with a parallel loop. The array
 // and the function closure are rooted in a frame so leaves that run on
 // this task itself survive its collections; leaves on child tasks write
-// their results through the (barriered) array stores.
-func (m *Machine) tabulate(t *mpl.Task, fcl mem.Value, n int) (mem.Value, error) {
+// their results through the (barriered) array stores — or, when the
+// element type is immediate (fast), through unchecked stores: a scalar
+// store from a leaf publishes no pointer, so there is nothing for the
+// write barrier to remember.
+func (m *Machine) tabulate(t *mpl.Task, fcl mem.Value, n int, fast bool) (mem.Value, error) {
 	ff := t.NewFrame(2)
 	ff.Set(0, fcl)
 	ff.Set(1, t.AllocArray(n, mem.Nil).Value())
@@ -236,7 +271,11 @@ func (m *Machine) tabulate(t *mpl.Task, fcl mem.Value, n int) (mem.Value, error)
 				mu.Unlock()
 				return
 			}
-			t.Write(ff.Ref(1), i, v)
+			if fast {
+				t.WriteFast(ff.Ref(1), i, v)
+			} else {
+				t.Write(ff.Ref(1), i, v)
+			}
 		}
 	})
 	out := ff.Get(1)
@@ -262,8 +301,9 @@ func (m *Machine) apply2(t *mpl.Task, fcl, a, b mem.Value) (mem.Value, error) {
 }
 
 // reduce folds arr[lo:hi) with the combiner fcl and identity z by binary
-// parallel splitting; leaves fold sequentially.
-func (m *Machine) reduce(t *mpl.Task, arr, z, fcl mem.Value, lo, hi int) (mem.Value, error) {
+// parallel splitting; leaves fold sequentially. fast elides the element
+// read barrier when the element type is immediate.
+func (m *Machine) reduce(t *mpl.Task, arr, z, fcl mem.Value, lo, hi int, fast bool) (mem.Value, error) {
 	const grain = 256
 	if hi-lo <= grain {
 		ff := t.NewFrame(3)
@@ -271,7 +311,12 @@ func (m *Machine) reduce(t *mpl.Task, arr, z, fcl mem.Value, lo, hi int) (mem.Va
 		ff.Set(1, arr)
 		ff.Set(2, z)
 		for i := lo; i < hi; i++ {
-			v := t.Read(ff.Ref(1), i)
+			var v mem.Value
+			if fast {
+				v = t.ReadFast(ff.Ref(1), i)
+			} else {
+				v = t.Read(ff.Ref(1), i)
+			}
 			acc, err := m.apply2(t, ff.Get(0), ff.Get(2), v)
 			if err != nil {
 				ff.Pop()
@@ -287,12 +332,12 @@ func (m *Machine) reduce(t *mpl.Task, arr, z, fcl mem.Value, lo, hi int) (mem.Va
 	var lerr, rerr error
 	lv, rv := t.Par(
 		func(t *mpl.Task) mem.Value {
-			v, err := m.reduce(t, arr, z, fcl, lo, mid)
+			v, err := m.reduce(t, arr, z, fcl, lo, mid, fast)
 			lerr = err
 			return v
 		},
 		func(t *mpl.Task) mem.Value {
-			v, err := m.reduce(t, arr, z, fcl, mid, hi)
+			v, err := m.reduce(t, arr, z, fcl, mid, hi, fast)
 			rerr = err
 			return v
 		},
@@ -347,28 +392,51 @@ type Result struct {
 	Rendered string
 	Runtime  *mpl.Runtime
 	Output   string
+	Analysis *Analysis // disentanglement verdicts; nil for RunChecked
+	Elided   bool      // compiled with barrier elision
 }
 
 // Run parses, checks, compiles, and executes src on a fresh runtime with
-// the given configuration. Program output (print) is captured in
-// Result.Output.
+// the given configuration, with barrier elision at every site the
+// disentanglement analysis proves safe. Program output (print) is
+// captured in Result.Output.
 func Run(src string, cfg mpl.Config) (*Result, error) {
+	return run(src, cfg, true)
+}
+
+// RunChecked runs src with every access on the managed barriers — the
+// pre-elision build, kept for the differential suite and ablations.
+func RunChecked(src string, cfg mpl.Config) (*Result, error) {
+	return run(src, cfg, false)
+}
+
+func run(src string, cfg mpl.Config, elide bool) (*Result, error) {
 	ast, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	typ, err := Check(ast)
-	if err != nil {
+	var typ Type
+	var an *Analysis
+	if elide {
+		an, err = Analyze(ast)
+		if err != nil {
+			return nil, err
+		}
+		typ = an.Type
+	} else if typ, err = Check(ast); err != nil {
 		return nil, err
 	}
-	prog, err := Compile(ast)
+	prog, err := CompileWith(ast, an)
 	if err != nil {
 		return nil, err
 	}
 	var out strings.Builder
 	m := NewMachine(prog, &out)
 	rt := mpl.New(cfg)
-	res := &Result{Type: typ, Runtime: rt}
+	if an != nil {
+		rt.SetStaticRegions(int64(an.Regions))
+	}
+	res := &Result{Type: typ, Runtime: rt, Analysis: an, Elided: elide}
 	var rerr error
 	_, err = rt.Run(func(t *mpl.Task) mem.Value {
 		v, err := m.Run(t)

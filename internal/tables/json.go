@@ -36,6 +36,14 @@ type BenchEntry struct {
 	LiveWords      int64 `json:"live_words"`
 	CGCCycles      int64 `json:"cgc_cycles"`
 
+	// Barrier-elision coverage of the T1 run — also never gated, tracked so
+	// the trajectory shows how much of each benchmark's access traffic the
+	// static disentanglement analysis removed from the managed path. Zero
+	// for the Go-native suite (no front-end analysis).
+	StaticRegions int64 `json:"static_regions"`
+	ElidedLoads   int64 `json:"elided_loads"`
+	ElidedStores  int64 `json:"elided_stores"`
+
 	// Sampled time-series of the retention counters from one extra traced
 	// (untimed) run, so the JSON trail shows the *shape* of retention —
 	// a pin leak that drains by the end of the run has the same final
@@ -79,6 +87,9 @@ func WriteBenchJSON(rows []TimeRow, timestamp string, scale int, path string) er
 			RetainedChunks:   r.RetainedChunks,
 			LiveWords:        r.LiveWords,
 			CGCCycles:        r.CGCCycles,
+			StaticRegions:    r.StaticRegions,
+			ElidedLoads:      r.ElidedLoads,
+			ElidedStores:     r.ElidedStores,
 			RetainedSeries:   r.RetainedSeries,
 			PinnedPeakSeries: r.PinnedPeakSeries,
 		})

@@ -105,6 +105,14 @@ type TimeRow struct {
 	LiveWords      int64 // max residency of the T1 run, in words
 	CGCCycles      int64 // completed concurrent cycles
 
+	// Barrier-elision coverage of the T1 run (zero for the Go-native
+	// benchmarks, which have no static analysis; populated by mlang-driven
+	// runs). Carried into the bench JSON as trajectory columns — never
+	// gated.
+	StaticRegions int64 // statically-proven disentangled regions
+	ElidedLoads   int64 // unchecked loads executed
+	ElidedStores  int64 // unchecked stores executed
+
 	// Sampled time-series of the retention counters, harvested from one
 	// extra traced (and untimed) run — the timed measurements above never
 	// see a tracer. Each point is (ns into the run, counter value); the
@@ -157,6 +165,9 @@ func TimeTable(sizes map[string]int, w io.Writer) []TimeRow {
 			RetainedChunks:  rt.RetainedChunks(),
 			LiveWords:       rt.MaxLiveWords(),
 			CGCCycles:       cycles,
+			StaticRegions:   rt.ElisionStats().StaticRegions,
+			ElidedLoads:     rt.ElisionStats().ElidedLoads,
+			ElidedStores:    rt.ElisionStats().ElidedStores,
 		}
 		row.RetainedSeries, row.PinnedPeakSeries = tracedSeries(b, n)
 		rows = append(rows, row)

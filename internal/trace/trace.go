@@ -119,6 +119,12 @@ const (
 	// seqlock retry count; identically zero under the default fork-path
 	// oracle, which has no retry path.
 	CtrSeqlockRetries
+	// Barrier-elision telemetry: the number of statically-proven
+	// disentangled regions (constant over a run) and the cumulative
+	// unchecked loads/stores executed through the Fast accessors.
+	CtrStaticRegions
+	CtrElidedLoads
+	CtrElidedStores
 	ctrCounters // sentinel
 )
 
@@ -129,6 +135,9 @@ var counterNames = [ctrCounters]string{
 	CtrRetainedChunks:  "retained_chunks",
 	CtrAncestryQueries: "ancestry_queries",
 	CtrSeqlockRetries:  "seqlock_retries",
+	CtrStaticRegions:   "static_regions",
+	CtrElidedLoads:     "elided_loads",
+	CtrElidedStores:    "elided_stores",
 }
 
 func (c Counter) String() string {

@@ -70,6 +70,10 @@ type Config = core.Config
 // Runtime is one instance of the hierarchical-heap runtime.
 type Runtime = core.Runtime
 
+// ElisionStats summarizes barrier elision for one runtime (see
+// Runtime.ElisionStats).
+type ElisionStats = core.ElisionStats
+
 // Mode selects how the runtime responds to entanglement.
 type Mode = entangle.Mode
 
