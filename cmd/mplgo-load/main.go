@@ -1,0 +1,304 @@
+// mplgo-load is the open-loop load generator for examples/server: Poisson
+// arrivals at a configured offered rate, independent of responses — a
+// closed loop would slow itself down under overload and hide exactly the
+// regime this tool exists to measure. Latency is taken from each request's
+// *scheduled* arrival, so queueing, shedding and retry backoff all count
+// (no coordinated omission).
+//
+// Sheds (HTTP 503 from the server's admission controller) are retried with
+// jittered exponential backoff up to -retries; a request that exhausts its
+// budget counts as shed-final. Typed per-request outcomes map from status
+// codes: 504 deadline-exceeded, 507 budget-exceeded.
+//
+// The report — p50/p99/p999 over completed requests, goodput, and the
+// server's own admission counters scraped from /metrics — prints human-
+// readable, and with -bench merges into a BENCH_*.json as a "server-load"
+// entry. Those columns are never gated by the bench comparison (they carry
+// no overhead ratio); they ride along as the latency trajectory.
+//
+// CI assertions: -min-shed fails the run unless the server actually shed,
+// -max-p999 bounds tail latency, and -quit drains the server and fails if
+// its post-burst invariant audit does.
+//
+//	mplgo-load -addr http://127.0.0.1:8080 -rps 400 -duration 5s \
+//	    -min-shed 1 -max-p999 2s -quit -bench /tmp/bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mplgo/internal/tables"
+)
+
+// results aggregates request outcomes across worker goroutines.
+type results struct {
+	completed atomic.Int64
+	shedFinal atomic.Int64 // retry budget exhausted, never admitted
+	deadline  atomic.Int64
+	budget    atomic.Int64
+	failed    atomic.Int64
+	retries   atomic.Int64
+
+	mu   sync.Mutex
+	lats []time.Duration // completed requests only
+}
+
+func (r *results) observe(lat time.Duration) {
+	r.completed.Add(1)
+	r.mu.Lock()
+	r.lats = append(r.lats, lat)
+	r.mu.Unlock()
+}
+
+// percentile returns the q-quantile (0 < q < 1) of the sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of an examples/server -listen instance")
+	rps := flag.Float64("rps", 200, "offered load: open-loop Poisson arrivals per second")
+	duration := flag.Duration("duration", 5*time.Second, "length of the arrival window")
+	keys := flag.Int("keys", 1024, "request key space (keys drawn uniformly)")
+	retries := flag.Int("retries", 3, "retry budget per request on shed (503)")
+	retryBase := flag.Duration("retry-base", 5*time.Millisecond, "base of the jittered exponential backoff")
+	reqTimeout := flag.Duration("timeout", 2*time.Second, "per-attempt HTTP timeout")
+	seed := flag.Int64("seed", 1, "arrival-schedule and key seed")
+	name := flag.String("name", "server-load", "bench entry name for -bench/-json")
+	benchPath := flag.String("bench", "", "BENCH_*.json to merge the latency entry into (created if missing)")
+	jsonOut := flag.Bool("json", false, "print the bench entry as JSON on stdout")
+	maxP999 := flag.Duration("max-p999", 0, "fail if completed-request p999 exceeds this (0 = off)")
+	minShed := flag.Int64("min-shed", 0, "fail unless the server reports at least this many sheds")
+	quit := flag.Bool("quit", false, "send /quit after the run and fail if the server audit fails")
+	flag.Parse()
+
+	// The whole arrival schedule is precomputed from the seed: exponential
+	// inter-arrival gaps (Poisson process) and uniform keys, so a given
+	// seed offers an identical load shape to every server under test.
+	rng := rand.New(rand.NewSource(*seed))
+	var offsets []time.Duration
+	var reqKeys []int
+	for at := time.Duration(0); ; {
+		at += time.Duration(rng.ExpFloat64() * float64(time.Second) / *rps)
+		if at >= *duration {
+			break
+		}
+		offsets = append(offsets, at)
+		reqKeys = append(reqKeys, rng.Intn(*keys))
+	}
+
+	client := &http.Client{Timeout: *reqTimeout}
+	var res results
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range offsets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scheduled := start.Add(offsets[i])
+			time.Sleep(time.Until(scheduled))
+			runOne(client, *addr, reqKeys[i], *retries, *retryBase, *seed+int64(i), scheduled, &res)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.mu.Lock()
+	sort.Slice(res.lats, func(i, j int) bool { return res.lats[i] < res.lats[j] })
+	p50 := percentile(res.lats, 0.50)
+	p99 := percentile(res.lats, 0.99)
+	p999 := percentile(res.lats, 0.999)
+	res.mu.Unlock()
+	goodput := float64(res.completed.Load()) / elapsed.Seconds()
+	server := scrapeCounters(client, *addr)
+
+	fmt.Printf("offered %.1f rps for %v: %d arrivals\n", *rps, *duration, len(offsets))
+	fmt.Printf("completed %d (goodput %.1f rps), shed-final %d, deadline %d, budget %d, failed %d, retries %d\n",
+		res.completed.Load(), goodput, res.shedFinal.Load(),
+		res.deadline.Load(), res.budget.Load(), res.failed.Load(), res.retries.Load())
+	fmt.Printf("latency (from scheduled arrival): p50 %v  p99 %v  p999 %v\n", p50, p99, p999)
+	fmt.Printf("server: admitted %d, shed %d, deadline-exceeded %d\n",
+		server["mplgo_requests_admitted_total"],
+		server["mplgo_requests_shed_total"],
+		server["mplgo_requests_deadline_exceeded_total"])
+
+	entry := tables.BenchEntry{
+		Name:        *name,
+		Entangled:   true, // every request reads/publishes ancestor-heap cache state
+		LatP50NS:    p50.Nanoseconds(),
+		LatP99NS:    p99.Nanoseconds(),
+		LatP999NS:   p999.Nanoseconds(),
+		OfferedRPS:  *rps,
+		GoodputRPS:  goodput,
+		ReqAdmitted: server["mplgo_requests_admitted_total"],
+		ReqShed:     server["mplgo_requests_shed_total"],
+		ReqDeadline: server["mplgo_requests_deadline_exceeded_total"],
+	}
+	if *jsonOut {
+		b, _ := json.MarshalIndent(entry, "", "  ")
+		fmt.Println(string(b))
+	}
+	if *benchPath != "" {
+		if err := mergeBench(*benchPath, entry); err != nil {
+			fmt.Fprintf(os.Stderr, "mplgo-load: merging %s: %v\n", *benchPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %q into %s\n", *name, *benchPath)
+	}
+
+	failed := false
+	if res.completed.Load() == 0 {
+		fmt.Fprintln(os.Stderr, "mplgo-load: FAIL: no request completed")
+		failed = true
+	}
+	if *maxP999 > 0 && p999 > *maxP999 {
+		fmt.Fprintf(os.Stderr, "mplgo-load: FAIL: p999 %v exceeds bound %v\n", p999, *maxP999)
+		failed = true
+	}
+	if *minShed > 0 && server["mplgo_requests_shed_total"] < *minShed {
+		fmt.Fprintf(os.Stderr, "mplgo-load: FAIL: server shed %d < required %d (run was not an overload)\n",
+			server["mplgo_requests_shed_total"], *minShed)
+		failed = true
+	}
+	if *quit {
+		if err := quitServer(client, *addr); err != nil {
+			fmt.Fprintf(os.Stderr, "mplgo-load: FAIL: %v\n", err)
+			failed = true
+		} else {
+			fmt.Println("server drained, post-burst audit ok")
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runOne issues one scheduled request, retrying sheds with jittered
+// exponential backoff. Latency is charged from the scheduled arrival.
+func runOne(client *http.Client, addr string, key, retries int, base time.Duration,
+	seed int64, scheduled time.Time, res *results) {
+	rng := rand.New(rand.NewSource(seed))
+	url := fmt.Sprintf("%s/req?key=%d", addr, key)
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			res.failed.Add(1)
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			res.observe(time.Since(scheduled))
+			return
+		case http.StatusServiceUnavailable:
+			if attempt >= retries {
+				res.shedFinal.Add(1)
+				return
+			}
+			res.retries.Add(1)
+			// base × 2^attempt, scaled by a uniform [0.5, 1.5) jitter so
+			// a shed storm's retries decorrelate instead of re-arriving
+			// as the same thundering herd.
+			time.Sleep(time.Duration(float64(base<<attempt) * (0.5 + rng.Float64())))
+		case http.StatusGatewayTimeout:
+			res.deadline.Add(1)
+			return
+		case http.StatusInsufficientStorage:
+			res.budget.Add(1)
+			return
+		default:
+			res.failed.Add(1)
+			return
+		}
+	}
+}
+
+// scrapeCounters pulls the server's /metrics exposition and returns the
+// integer samples by metric name (missing server → empty map; the report
+// then shows zeros rather than failing the load run).
+func scrapeCounters(client *http.Client, addr string) map[string]int64 {
+	m := make(map[string]int64)
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return m
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+			m[fields[0]] = v
+		}
+	}
+	return m
+}
+
+// mergeBench adds (or replaces) the entry in the bench report at path,
+// creating a fresh report when the file does not exist.
+func mergeBench(path string, e tables.BenchEntry) error {
+	rep, err := tables.ReadBenchJSON(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		rep = &tables.BenchReport{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+	}
+	replaced := false
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Name == e.Name {
+			rep.Benchmarks[i] = e
+			replaced = true
+		}
+	}
+	if !replaced {
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	return tables.WriteReport(rep, path)
+}
+
+// quitServer drains the target and surfaces its post-burst audit verdict.
+func quitServer(client *http.Client, addr string) error {
+	resp, err := client.Get(addr + "/quit")
+	if err != nil {
+		return fmt.Errorf("quit: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server audit failed: %s", strings.TrimSpace(string(body)))
+	}
+	return nil
+}

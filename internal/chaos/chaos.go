@@ -76,6 +76,21 @@ const (
 	// label space directly — and is unreachable on the default fork-path
 	// oracle, which has no label space at all.)
 	PathSpill
+	// Burst fires in the serve dispatcher's batch formation: a hit injects
+	// a synthetic burst of no-op requests ahead of the real batch, driving
+	// the admission window and the per-batch heap churn to their limits the
+	// way a traffic spike would.
+	Burst
+	// DeadlinePin fires in the read-barrier slow path of a deadline-scoped
+	// task, immediately before the entanglement pin protocol: a hit expires
+	// the scope right there, racing scoped cancellation against an
+	// in-flight pin — the window where a leaked pin would escape the
+	// join-time unpin audit.
+	DeadlinePin
+	// ShedStorm fires in the admission controller's acquire path: a hit
+	// refuses admission even though tokens are free, forcing shed/retry
+	// traffic (and its token accounting) without needing real overload.
+	ShedStorm
 	numPoints int = iota
 )
 
@@ -101,6 +116,12 @@ func (p Point) String() string {
 		return "cgc-shade"
 	case PathSpill:
 		return "path-spill"
+	case Burst:
+		return "burst"
+	case DeadlinePin:
+		return "deadline-pin"
+	case ShedStorm:
+		return "shed-storm"
 	}
 	return "invalid"
 }
@@ -129,6 +150,9 @@ type Options struct {
 	CGCSweep      uint32
 	CGCShade      uint32
 	PathSpill     uint32
+	Burst         uint32
+	DeadlinePin   uint32
+	ShedStorm     uint32
 }
 
 // Soak is the default option set of the chaos soak suite: every point on,
@@ -146,6 +170,9 @@ func Soak() Options {
 		CGCSweep:      512,
 		CGCShade:      256,
 		PathSpill:     256,
+		Burst:         256,
+		DeadlinePin:   256,
+		ShedStorm:     256,
 	}
 }
 
@@ -183,6 +210,12 @@ func New(seed int64, o Options) *Injector {
 	in.rate[CGCSweep] = clamp(o.CGCSweep, 1024)
 	in.rate[CGCShade] = clamp(o.CGCShade, 1024)
 	in.rate[PathSpill] = clamp(o.PathSpill, 1024)
+	in.rate[Burst] = clamp(o.Burst, 1024)
+	in.rate[DeadlinePin] = clamp(o.DeadlinePin, 1024)
+	// ShedStorm sits inside the load generator's retry loop: a point that
+	// always refuses would starve every request instead of perturbing the
+	// admission schedule.
+	in.rate[ShedStorm] = clamp(o.ShedStorm, retryClamp)
 	return in
 }
 

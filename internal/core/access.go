@@ -1,6 +1,7 @@
 package core
 
 import (
+	"mplgo/internal/chaos"
 	"mplgo/internal/mem"
 	"mplgo/internal/trace"
 )
@@ -19,6 +20,15 @@ import (
 func (t *Task) guardedGC(vs []mem.Value) {
 	if t.rt.cancelled.Load() {
 		return
+	}
+	if s := t.scope; s != nil {
+		// The allocation-side scope poll: fold an expired deadline into the
+		// domain's cancel flag (amortized clock read) so the next fork
+		// unwinds promptly even in allocation-heavy stretches. Collection
+		// stays ON for scope-cancelled tasks — sibling domains are still
+		// live and objects still move, so none of the global-cancel
+		// shortcuts below apply to scoped cancellation.
+		t.scopeAllocPoll(s)
 	}
 	if t.cgcOn {
 		// Allocation is the universal safepoint: publish frame roots to a
@@ -67,6 +77,9 @@ func (t *Task) overHeapLimit() bool {
 func (t *Task) bumpAlloc(words int64) {
 	t.sinceGC += words
 	t.Work(allocCost(words))
+	if s := t.scope; s != nil {
+		s.charge(words)
+	}
 }
 
 // allocCost is the abstract cost of an allocation for the simulator's
@@ -153,6 +166,19 @@ func (t *Task) Read(o mem.Ref, i int) mem.Value {
 			// no longer move — skip the pin protocol and hand back the
 			// loaded value. Results after cancellation are discarded.
 			return v
+		}
+		if s := t.scope; s != nil {
+			// Scope poll at the barrier slow path. Unlike the global case
+			// above, a dead scope does NOT skip the pin protocol: sibling
+			// domains are still collecting and moving objects, so the read
+			// must pin-and-validate like any other — the join's merge will
+			// unpin it. DeadlinePin chaos expires the deadline exactly
+			// here, racing scoped cancellation against the pin in flight.
+			if ch := t.rt.chaos; ch != nil && !s.deadline.IsZero() && ch.Should(chaos.DeadlinePin) {
+				s.Cancel(ErrDeadlineExceeded)
+			} else {
+				t.scopeCancelled()
+			}
 		}
 		nv, err := t.rt.ent.OnRead(t.heap, o, i, v)
 		if err != nil {

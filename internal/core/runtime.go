@@ -307,6 +307,12 @@ func (r *Runtime) CheckInvariants() error {
 // fault-injection layer is disabled), for failure dumps.
 func (r *Runtime) ChaosReport() string { return r.chaos.Report() }
 
+// Chaos exposes the fault-injection layer (nil when disabled) so host
+// packages with their own injection points — the admission controller's
+// shed-storm and burst sites (internal/serve) — draw decisions from the
+// same seeded stream the runtime replays.
+func (r *Runtime) Chaos() *chaos.Injector { return r.chaos }
+
 // Err returns the first entanglement error recorded (Detect mode).
 func (r *Runtime) Err() error {
 	r.errMu.Lock()

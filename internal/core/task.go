@@ -54,6 +54,14 @@ type Task struct {
 	sinceGC  int64
 	barriers bool
 
+	// scope is the task's request-scoped fault domain (nil for the vast
+	// majority of tasks — benchmarks and plain Par trees never set it).
+	// Every poll site tests the pointer before anything else, so unscoped
+	// fast paths pay one predictable load. scopeTick amortizes the
+	// allocation-path deadline clock read (see scope.go).
+	scope     *Scope
+	scopeTick int64
+
 	// Elision telemetry, bumped by the Fast accessors as plain task-local
 	// counters (the whole point of elision is to keep atomics off the access
 	// path) and drained into the runtime's atomic totals at finish and at
@@ -128,6 +136,16 @@ func (t *Task) Roots(visit func(*mem.Value)) {
 // The cost lands in a task-local accumulator; flushWork attributes it to
 // the current recording segment at the next fork/join boundary.
 func (t *Task) Work(n int64) { t.workAcc += n }
+
+// EmitCounter samples an application-level gauge into the task's worker
+// ring (the serve dispatcher emits its admission counters this way). The
+// single-writer ring discipline is preserved because the emit runs on the
+// strand currently executing this task. Free when untraced.
+func (t *Task) EmitCounter(c trace.Counter, v uint64) {
+	if r := t.w.Ring; r != nil && trace.Enabled() {
+		r.Emit(trace.EvCounter, int32(t.heap.Depth()), uint64(c), v)
+	}
+}
 
 // flushElision drains the task-local elision counters into the runtime
 // totals surfaced by Runtime.ElisionStats.
@@ -257,12 +275,16 @@ func (t *Task) collectNow() bool {
 // stays consistent while the computation unwinds; Run returns the error.
 // Par is also a cancellation point: once the runtime is cancelled it skips
 // both branches and returns (Nil, Nil) immediately, so deep fork trees
-// unwind without doing further work.
+// unwind without doing further work. Request-scoped cancellation (scope.go)
+// is checked at the same site — a task whose fault domain died (deadline,
+// budget, explicit Cancel) skips its branches the same way, while sibling
+// domains keep forking; its joins still run below, so every merge and unpin
+// the subtree owes still happens on the way out.
 //
 // The returned values are safe to use until the task's next allocation;
 // register references in a Frame before allocating.
 func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
-	if t.rt.cancelled.Load() {
+	if t.rt.cancelled.Load() || t.scopeCancelled() {
 		return mem.Nil, mem.Nil
 	}
 	if t.cgcOn {
@@ -276,6 +298,11 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 		lnode, rnode, anode = t.node.Fork()
 	}
 	var lv, rv mem.Value
+	// Snapshot the fault domain for the branch tasks. Captured by value
+	// before the fork: in lazy mode the inline branch runs on this task and
+	// may itself enter/leave scopes (RunScoped mutates t.scope) while a
+	// stolen branch is being set up on another worker.
+	sc := t.scope
 	if t.rt.cfg.LazyHeaps {
 		var rheap *hierarchy.Heap
 		saved := t.node
@@ -294,6 +321,7 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 				if stolen {
 					rheap = t.rt.tree.Fork(t.heap)
 					gt := t.rt.newTask(w, rheap, rnode)
+					gt.scope = sc
 					defer gt.finish()
 					defer t.rt.guard()
 					rv = g(gt)
@@ -323,12 +351,14 @@ func (t *Task) Par(f, g func(*Task) mem.Value) (mem.Value, mem.Value) {
 		t.w.ForkJoin(
 			func(w *sched.Worker) {
 				lt := t.rt.newTask(w, lheap, lnode)
+				lt.scope = sc
 				defer lt.finish()
 				defer t.rt.guard()
 				lv = f(lt)
 			},
 			func(w *sched.Worker, stolen bool) {
 				gt := t.rt.newTask(w, rheap, rnode)
+				gt.scope = sc
 				defer gt.finish()
 				defer t.rt.guard()
 				rv = g(gt)
@@ -385,7 +415,7 @@ func (t *Task) runInline(f func(*Task) mem.Value) (v mem.Value) {
 // ParFor runs body over [lo, hi) in parallel, splitting ranges in half
 // until they are at most grain wide.
 func (t *Task) ParFor(lo, hi, grain int, body func(t *Task, lo, hi int)) {
-	if t.rt.cancelled.Load() {
+	if t.rt.cancelled.Load() || t.scopeCancelled() {
 		return // cancellation point: skip remaining range while unwinding
 	}
 	if t.cgcOn {

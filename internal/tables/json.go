@@ -50,6 +50,23 @@ type BenchEntry struct {
 	// retained_chunks as a healthy run, but a very different series.
 	RetainedSeries   []CounterPoint `json:"retained_chunks_series,omitempty"`
 	PinnedPeakSeries []CounterPoint `json:"pinned_peak_bytes_series,omitempty"`
+
+	// Server-load latency columns, written by cmd/mplgo-load for the
+	// examples/server workload. These entries have no Tseq/T1 pair — they
+	// come from an open-loop wall-clock run, not the timed bench harness —
+	// so CompareBenchReports never gates on them (Overhead is zero);
+	// they ride in the JSON purely as a tracked latency/goodput
+	// trajectory. Latencies are measured from each request's *scheduled*
+	// arrival (open loop — queueing and retry backoff count), over
+	// completed requests only.
+	LatP50NS    int64   `json:"lat_p50_ns,omitempty"`
+	LatP99NS    int64   `json:"lat_p99_ns,omitempty"`
+	LatP999NS   int64   `json:"lat_p999_ns,omitempty"`
+	OfferedRPS  float64 `json:"offered_rps,omitempty"`
+	GoodputRPS  float64 `json:"goodput_rps,omitempty"`
+	ReqAdmitted int64   `json:"requests_admitted,omitempty"`
+	ReqShed     int64   `json:"requests_shed,omitempty"`
+	ReqDeadline int64   `json:"requests_deadline_exceeded,omitempty"`
 }
 
 // BenchReport is the top-level JSON document written beside the tables so
@@ -94,6 +111,17 @@ func WriteBenchJSON(rows []TimeRow, timestamp string, scale int, path string) er
 			PinnedPeakSeries: r.PinnedPeakSeries,
 		})
 	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteReport serializes an already-assembled report to path — the
+// update path for tools (cmd/mplgo-load) that merge entries into an
+// existing BENCH_*.json rather than generating one from TimeRows.
+func WriteReport(rep *BenchReport, path string) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

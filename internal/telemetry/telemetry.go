@@ -14,9 +14,22 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 
 	"mplgo/internal/core"
 )
+
+// Source is an application-side metrics provider: a host package (the
+// admission controller in internal/serve, a cache, a custom workload)
+// appends its own gauges and counters to the /metrics exposition next to
+// the runtime's. Implementations must read only atomic snapshots — the
+// handler runs while the workload is under full load.
+type Source interface {
+	// AppendMetrics calls emit once per metric, with the Prometheus metric
+	// name (conventionally mplgo_-prefixed), the help line, the type
+	// ("counter" or "gauge"), and the current value.
+	AppendMetrics(emit func(name, help, typ string, val int64))
+}
 
 // metric is one exported gauge or counter.
 type metric struct {
@@ -60,9 +73,15 @@ func collect(rt *core.Runtime) []metric {
 }
 
 // WriteMetrics writes the Prometheus text exposition of the runtime's
-// counters.
-func WriteMetrics(w io.Writer, rt *core.Runtime) error {
-	for _, m := range collect(rt) {
+// counters, followed by any additional sources' metrics.
+func WriteMetrics(w io.Writer, rt *core.Runtime, srcs ...Source) error {
+	ms := collect(rt)
+	for _, s := range srcs {
+		s.AppendMetrics(func(name, help, typ string, val int64) {
+			ms = append(ms, metric{name, help, typ, val})
+		})
+	}
+	for _, m := range ms {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
 			m.name, m.help, m.name, m.typ, m.name, m.val); err != nil {
 			return err
@@ -72,10 +91,10 @@ func WriteMetrics(w io.Writer, rt *core.Runtime) error {
 }
 
 // Metrics returns the /metrics handler.
-func Metrics(rt *core.Runtime) http.Handler {
+func Metrics(rt *core.Runtime, srcs ...Source) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = WriteMetrics(w, rt)
+		_ = WriteMetrics(w, rt, srcs...)
 	})
 }
 
@@ -97,6 +116,27 @@ func HeapTree(rt *core.Runtime) http.Handler {
 // Register wires the telemetry handlers into mux under their conventional
 // paths.
 func Register(mux *http.ServeMux, rt *core.Runtime) {
-	mux.Handle("/metrics", Metrics(rt))
+	RegisterSources(mux, rt)
+}
+
+// RegisterSources is Register with additional application metric sources
+// merged into the /metrics exposition (e.g. internal/serve's admission
+// counters next to the runtime's GC and entanglement counters).
+func RegisterSources(mux *http.ServeMux, rt *core.Runtime, srcs ...Source) {
+	mux.Handle("/metrics", Metrics(rt, srcs...))
 	mux.Handle("/debug/heaptree", HeapTree(rt))
+}
+
+// RegisterPprof mounts the standard net/http/pprof handlers under
+// /debug/pprof/ on mux. Split out of Register because pprof exposes
+// goroutine dumps and CPU profiling endpoints a production mux may not
+// want; servers that do want them (examples/server) call this instead of
+// hand-rolling the four handler registrations pprof needs on a non-default
+// mux.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

@@ -125,19 +125,31 @@ const (
 	CtrStaticRegions
 	CtrElidedLoads
 	CtrElidedStores
+	// Serving telemetry (internal/serve): cumulative admission outcomes
+	// and the concurrency-token gauge, sampled per dispatch batch so a
+	// trace of an overloaded run shows shed storms and deadline clusters
+	// on the same timeline as the GC and entanglement events.
+	CtrRequestsAdmitted
+	CtrRequestsShed
+	CtrDeadlineExceeded
+	CtrTokensInUse
 	ctrCounters // sentinel
 )
 
 var counterNames = [ctrCounters]string{
-	CtrPinnedBytes:     "pinned_bytes",
-	CtrPinnedPeakBytes: "pinned_peak_bytes",
-	CtrLiveWords:       "live_words",
-	CtrRetainedChunks:  "retained_chunks",
-	CtrAncestryQueries: "ancestry_queries",
-	CtrSeqlockRetries:  "seqlock_retries",
-	CtrStaticRegions:   "static_regions",
-	CtrElidedLoads:     "elided_loads",
-	CtrElidedStores:    "elided_stores",
+	CtrPinnedBytes:      "pinned_bytes",
+	CtrPinnedPeakBytes:  "pinned_peak_bytes",
+	CtrLiveWords:        "live_words",
+	CtrRetainedChunks:   "retained_chunks",
+	CtrAncestryQueries:  "ancestry_queries",
+	CtrSeqlockRetries:   "seqlock_retries",
+	CtrStaticRegions:    "static_regions",
+	CtrElidedLoads:      "elided_loads",
+	CtrElidedStores:     "elided_stores",
+	CtrRequestsAdmitted: "requests_admitted",
+	CtrRequestsShed:     "requests_shed",
+	CtrDeadlineExceeded: "requests_deadline_exceeded",
+	CtrTokensInUse:      "tokens_in_use",
 }
 
 func (c Counter) String() string {

@@ -33,6 +33,7 @@ package mpl
 
 import (
 	"io"
+	"time"
 
 	"mplgo/internal/chaos"
 	"mplgo/internal/core"
@@ -104,6 +105,30 @@ var ErrHeapLimit = core.ErrHeapLimit
 // exposes panics whose value was itself an error, so errors.Is sees the
 // typed resource-exhaustion panics.
 type PanicError = core.PanicError
+
+// Scope is a request-scoped fault domain: a cancellation scope with an
+// optional monotonic deadline and heap-word budget, covering the subtree
+// of tasks that runs under it (Task.RunScoped, Task.ForkScoped). A dead
+// scope unwinds only its own subtree — concurrent siblings, and the
+// runtime, keep going.
+type Scope = core.Scope
+
+// NewScope creates a fault domain under parent (nil for top-level). The
+// zero deadline means none; budgetWords 0 means unlimited. Prefer
+// Task.NewScope inside a computation — it nests under the task's current
+// scope automatically.
+func NewScope(parent *Scope, deadline time.Time, budgetWords int64) *Scope {
+	return core.NewScope(parent, deadline, budgetWords)
+}
+
+// ErrDeadlineExceeded is the cancellation cause of a Scope whose deadline
+// passed; the scoped join's error wraps it.
+var ErrDeadlineExceeded = core.ErrDeadlineExceeded
+
+// ErrShed is the sentinel under typed admission refusals (internal/serve's
+// *Overload unwraps to it): the request never entered the runtime and
+// should be retried after backoff.
+var ErrShed = core.ErrShed
 
 // ChaosOptions configures the deterministic fault-injection layer via
 // Config.Chaos (rates are per-1024 probabilities at each injection point,
