@@ -15,6 +15,12 @@
 //	mplgo-bench -exp trace      # traced run → Chrome trace_event JSON
 //	                            # (-trace <file>, -tracebench, -traceprocs;
 //	                            #  never part of "all" — tracing is untimed)
+//	mplgo-bench -exp grid-cell -cell <file>
+//	                            # machine-readable experiment-grid cell:
+//	                            # run the Cell JSON in <file> ('-' for
+//	                            # stdin) and print its CellResult JSON on
+//	                            # stdout. This is cmd/mplgo-paper's
+//	                            # subprocess mode — never part of "all".
 //
 // -scale divides every benchmark's default problem size (e.g. -scale 4
 // runs quarter-size problems for a quick look).
@@ -28,16 +34,22 @@
 // -baseline <file.json> compares the fresh T1 report against a previous
 // one and exits nonzero if any benchmark's overhead (T1/Tseq) regressed by
 // more than -tolerance (default 10%). CI uses this against the checked-in
-// baseline report.
+// baseline report. When the baseline's host fingerprint does not match the
+// current host (different cores, GOMAXPROCS, or toolchain — or no
+// fingerprint at all), regressions are downgraded to warnings: a number
+// measured on different hardware bounds nothing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"mplgo/internal/bench"
+	"mplgo/internal/expgrid"
 	"mplgo/internal/tables"
 )
 
@@ -54,7 +66,19 @@ func main() {
 		"previous BENCH_*.json to compare the fresh T1 report against; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.10,
 		"relative T1-overhead regression tolerated by -baseline (0.10 = 10%)")
+	cellPath := flag.String("cell", "",
+		"grid-cell JSON for -exp grid-cell ('-' reads stdin)")
 	flag.Parse()
+
+	// Grid-cell mode is fully machine-readable: the cell comes in as
+	// JSON, the result goes out as JSON, and nothing else touches stdout.
+	if *exp == "grid-cell" {
+		if err := runGridCell(*cellPath); err != nil {
+			fmt.Fprintf(os.Stderr, "grid-cell: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var sizes map[string]int
 	if *scale > 1 {
@@ -109,6 +133,17 @@ func main() {
 				os.Exit(1)
 			}
 			if regs := tables.CompareBenchReports(base, fresh, *tolerance); len(regs) > 0 {
+				// A baseline measured on a different host bounds nothing:
+				// warn instead of failing, and say why (the fingerprints).
+				if !fresh.Host.Matches(base.Host) {
+					fmt.Fprintf(os.Stderr,
+						"WARNING: baseline host does not match this host — regressions reported, not gated\n"+
+							"  baseline: %s\n  current:  %s\n", base.Host, fresh.Host)
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "  warn: %s\n", r)
+					}
+					return
+				}
 				fmt.Fprintf(os.Stderr, "T1-overhead regressions vs %s:\n", *baseline)
 				for _, r := range regs {
 					fmt.Fprintf(os.Stderr, "  %s\n", r)
@@ -144,4 +179,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runGridCell executes one experiment-grid cell (cmd/mplgo-paper's
+// subprocess protocol): Cell JSON in, CellResult JSON out on stdout.
+func runGridCell(path string) error {
+	if path == "" {
+		return fmt.Errorf("-exp grid-cell requires -cell <file>")
+	}
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var cell expgrid.Cell
+	if err := json.Unmarshal(data, &cell); err != nil {
+		return fmt.Errorf("bad cell JSON: %w", err)
+	}
+	res, err := expgrid.ExecuteCell(cell)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(out, '\n'))
+	return err
 }

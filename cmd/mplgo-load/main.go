@@ -276,6 +276,9 @@ func mergeBench(path string, e tables.BenchEntry) error {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		}
 	}
+	if rep.Host == nil {
+		rep.Host = tables.CurrentFingerprint()
+	}
 	replaced := false
 	for i := range rep.Benchmarks {
 		if rep.Benchmarks[i].Name == e.Name {

@@ -1,0 +1,206 @@
+package expgrid
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"mplgo/internal/bench"
+	"mplgo/internal/globalrt"
+	"mplgo/internal/hierarchy"
+	"mplgo/internal/sim"
+	"mplgo/internal/tables"
+	"mplgo/internal/trace"
+	"mplgo/mpl"
+)
+
+// CellResult is everything one grid cell measured, the unit the runner
+// aggregates into tables. It is the subprocess's entire stdout (as JSON),
+// so a cell run is reproducible and auditable in isolation.
+type CellResult struct {
+	Cell Cell `json:"cell"`
+	// WallNS are the timed repeats' wall clocks, in measurement order.
+	WallNS []int64 `json:"wall_ns"`
+	// TseqNS are the global-heap sequential baseline repeats (only on
+	// cells with MeasureSeq, i.e. each group's P=1 cell).
+	TseqNS []int64 `json:"tseq_ns,omitempty"`
+	// Checksum is the benchmark result; ChecksumStable reports whether
+	// every repeat agreed (an entangled benchmark whose answer depends on
+	// interleaving is reported, not failed).
+	Checksum       int64 `json:"checksum"`
+	ChecksumStable bool  `json:"checksum_stable"`
+	// Work and Span of the recorded DAG (abstract units), and the
+	// simulator's replayed makespans: at P=1 (== Work), at the cell's
+	// requested P, and at the effective parallelism min(P, host cores) —
+	// the point real hardware can actually reach.
+	Work     int64 `json:"work"`
+	Span     int64 `json:"span"`
+	SimT1    int64 `json:"sim_t1"`
+	SimTP    int64 `json:"sim_tp"`
+	SimTPEff int64 `json:"sim_tp_eff"`
+	// Host fingerprints the subprocess that ran the cell.
+	Host *tables.Fingerprint `json:"host"`
+	// TraceEvents counts the events captured by the optional traced run.
+	TraceEvents int `json:"trace_events,omitempty"`
+}
+
+// cellConfig maps a cell's knobs onto a runtime config.
+func cellConfig(c Cell) (mpl.Config, error) {
+	cfg := mpl.Config{Procs: c.Procs, Seed: c.Seed}
+	switch c.Heap {
+	case HeapFork, "":
+	case HeapLazy:
+		cfg.LazyHeaps = true
+	default:
+		return cfg, fmt.Errorf("cell %s: bad heap mode %q", c.ID, c.Heap)
+	}
+	switch c.Ancestry {
+	case AncestryForkPath, "":
+		cfg.Ancestry = hierarchy.AncestryForkPath
+	case AncestryOrderList:
+		cfg.Ancestry = hierarchy.AncestryOrderList
+	default:
+		return cfg, fmt.Errorf("cell %s: bad ancestry mode %q", c.ID, c.Ancestry)
+	}
+	if c.Elide {
+		cfg.Mode = mpl.Unsafe
+	}
+	return cfg, nil
+}
+
+// ExecuteCell runs one grid cell in this process: warmups, timed repeats,
+// the sequential baseline when asked, one recorded run for the simulator
+// prediction, and (when TracePath is set) one traced run stamped with the
+// cell-identity counters. The caller is expected to be a fresh subprocess
+// (cmd/mplgo-bench -exp grid-cell) so cells never share heap or scheduler
+// state.
+func ExecuteCell(c Cell) (*CellResult, error) {
+	b, ok := bench.ByName(c.Bench)
+	if !ok {
+		return nil, fmt.Errorf("cell %s: unknown benchmark %q", c.ID, c.Bench)
+	}
+	if c.Elide && b.Entangled {
+		return nil, fmt.Errorf("cell %s: elide is unsound for entangled %q", c.ID, c.Bench)
+	}
+	if c.N <= 0 {
+		c.N = b.DefaultN
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 1
+	}
+	cfg, err := cellConfig(c)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CellResult{Cell: c, ChecksumStable: true, Host: tables.CurrentFingerprint()}
+
+	runOnce := func() (int64, time.Duration, error) {
+		rt := mpl.New(cfg)
+		var got int64
+		start := time.Now()
+		_, err := rt.Run(func(t *mpl.Task) mpl.Value {
+			got = b.MPL(t, c.N)
+			return mpl.Int(got)
+		})
+		return got, time.Since(start), err
+	}
+
+	for i := 0; i < c.Warmups; i++ {
+		if _, _, err := runOnce(); err != nil {
+			return nil, fmt.Errorf("cell %s: warmup: %w", c.ID, err)
+		}
+	}
+	for i := 0; i < c.Repeats; i++ {
+		got, wall, err := runOnce()
+		if err != nil {
+			return nil, fmt.Errorf("cell %s: repeat %d: %w", c.ID, i, err)
+		}
+		if i == 0 {
+			res.Checksum = got
+		} else if got != res.Checksum {
+			res.ChecksumStable = false
+		}
+		res.WallNS = append(res.WallNS, wall.Nanoseconds())
+	}
+
+	if c.MeasureSeq {
+		for i := 0; i < c.Repeats; i++ {
+			g := globalrt.New(0)
+			start := time.Now()
+			got := b.Global(g, c.N)
+			res.TseqNS = append(res.TseqNS, time.Since(start).Nanoseconds())
+			if got != res.Checksum {
+				res.ChecksumStable = false
+			}
+		}
+	}
+
+	// Recorded run at P=1 for the DAG: the fork structure and abstract
+	// costs are program-determined, so one deterministic recording serves
+	// every replay.
+	recCfg := cfg
+	recCfg.Procs = 1
+	recCfg.Record = true
+	rt := mpl.New(recCfg)
+	if _, err := rt.Run(func(t *mpl.Task) mpl.Value { return mpl.Int(b.MPL(t, c.N)) }); err != nil {
+		return nil, fmt.Errorf("cell %s: recorded run: %w", c.ID, err)
+	}
+	dag := rt.Trace()
+	if dag == nil {
+		return nil, fmt.Errorf("cell %s: recorded run produced no trace", c.ID)
+	}
+	stealCost := int64(tables.StealCost)
+	r1 := sim.Replay(dag, sim.ReplayConfig{P: 1, StealCost: stealCost})
+	rp := sim.Replay(dag, sim.ReplayConfig{P: c.Procs, StealCost: stealCost})
+	effP := res.Host.EffectiveProcs(c.Procs)
+	re := rp
+	if effP != c.Procs {
+		re = sim.Replay(dag, sim.ReplayConfig{P: effP, StealCost: stealCost})
+	}
+	res.Work, res.Span = r1.Work, r1.Span
+	res.SimT1, res.SimTP, res.SimTPEff = r1.Makespan, rp.Makespan, re.Makespan
+
+	if c.TracePath != "" {
+		n, err := traceCell(c, b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.TraceEvents = n
+	}
+	return res, nil
+}
+
+// traceCell reruns the cell once, untimed, with a tracer installed, and
+// writes the Chrome export to c.TracePath. The root task emits the
+// grid_cell and grid_seed counters first, so the export is attributable
+// to its cell (satisfying the single-writer ring contract: the emits run
+// on the root strand's own worker).
+func traceCell(c Cell, b bench.Benchmark, cfg mpl.Config) (int, error) {
+	tr := mpl.NewTracer(cfg.Procs, 0)
+	cfg.Tracer = tr
+	mpl.TraceEnable()
+	rt := mpl.New(cfg)
+	_, err := rt.Run(func(t *mpl.Task) mpl.Value {
+		t.EmitCounter(trace.CtrGridCell, c.IDHash())
+		t.EmitCounter(trace.CtrGridSeed, uint64(c.Seed))
+		return mpl.Int(b.MPL(t, c.N))
+	})
+	mpl.TraceDisable()
+	if err != nil {
+		return 0, fmt.Errorf("cell %s: traced run: %w", c.ID, err)
+	}
+	events := 0
+	for _, ring := range tr.Snapshot() {
+		events += len(ring)
+	}
+	f, err := os.Create(c.TracePath)
+	if err != nil {
+		return events, err
+	}
+	if err := mpl.WriteChrome(f, tr); err != nil {
+		f.Close()
+		return events, err
+	}
+	return events, f.Close()
+}

@@ -154,10 +154,14 @@ func TestAncestryDifferentialConcurrent(t *testing.T) {
 		go func(g int) {
 			defer queryWG.Done()
 			rng := rand.New(rand.NewSource(int64(200 + g)))
-			for {
+			// Query first, check stop after: on a single-core host a
+			// querier may be scheduled for the first time only after the
+			// forkers finish, and it must still contribute at least one
+			// differential query before exiting.
+			for done := false; !done; {
 				select {
 				case <-stop:
-					return
+					done = true
 				default:
 				}
 				a, b := snapshot(rng)

@@ -90,6 +90,27 @@ type ReplayResult struct {
 	// BusyPeak is the maximum number of simultaneously busy processors,
 	// used by the space model (more busy processors → more live nurseries).
 	BusyPeak int
+	// Work and Span are the replayed DAG's total work W and critical path
+	// S, exposed so consumers checking Brent's bound against a *measured*
+	// T_P (the experiment-grid cross-validation) get them from the same
+	// replay that produced the prediction.
+	Work int64
+	Span int64
+}
+
+// Brent returns the interval Brent's bound allows for greedily scheduling
+// a DAG of work w and span s on p processors: w/p ≤ T_P ≤ w/p + c·s. The
+// constant c absorbs per-span-node scheduling costs (for this simulator,
+// steal latency on every critical-path migration; for real hardware, fork/
+// join bookkeeping and queue delays) — callers choose it to match their
+// executor and tolerance.
+func Brent(w, s int64, p int, c float64) (lo, hi float64) {
+	if p < 1 {
+		p = 1
+	}
+	lo = float64(w) / float64(p)
+	hi = lo + c*float64(s)
+	return lo, hi
 }
 
 // event is a strand completion.
@@ -127,6 +148,7 @@ func Replay(root *Node, cfg ReplayConfig) ReplayResult {
 		cfg.P = 1
 	}
 	resetPending(root)
+	w, s := root.WorkSpan()
 
 	var (
 		events  eventHeap
@@ -134,7 +156,7 @@ func Replay(root *Node, cfg ReplayConfig) ReplayResult {
 		deques  = make([][]stamped, cfg.P)
 		parked  []int // processor ids idle with empty deques, FIFO
 		parkedT = make([]int64, cfg.P)
-		res     ReplayResult
+		res     = ReplayResult{Work: w, Span: s}
 		busy    = 0
 	)
 	sched := func(t int64, p int, n *Node) {

@@ -1,0 +1,133 @@
+package tables
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Table is a validated rectangular table on its way to a CSV file. The
+// experiment-grid outputs (samples.csv, summary_grouped.csv, the speedup
+// and overhead tables) are all built as Tables so one validator covers
+// them: every writer refuses to emit a malformed table, which is what the
+// paper-runner's "no unvalidated tables" guarantee rests on.
+type Table struct {
+	Name   string // file stem, used in error messages
+	Header []string
+	Rows   [][]string
+}
+
+// Append adds one row.
+func (t *Table) Append(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Validate checks the table is well-formed: a non-empty header of unique
+// non-empty column names, every row exactly as wide as the header, and no
+// empty, NaN, or infinite cells (a NaN in a ratio column means a divide
+// upstream went wrong — better to fail the run than to typeset it).
+func (t *Table) Validate() error {
+	if len(t.Header) == 0 {
+		return fmt.Errorf("table %s: empty header", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Header))
+	for _, h := range t.Header {
+		if h == "" {
+			return fmt.Errorf("table %s: empty column name", t.Name)
+		}
+		if seen[h] {
+			return fmt.Errorf("table %s: duplicate column %q", t.Name, h)
+		}
+		seen[h] = true
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return fmt.Errorf("table %s: row %d has %d cells, header has %d",
+				t.Name, i, len(row), len(t.Header))
+		}
+		for j, cell := range row {
+			if cell == "" {
+				return fmt.Errorf("table %s: row %d: empty %s", t.Name, i, t.Header[j])
+			}
+			switch strings.ToLower(cell) {
+			case "nan", "+inf", "-inf", "inf":
+				return fmt.Errorf("table %s: row %d: %s = %s", t.Name, i, t.Header[j], cell)
+			}
+		}
+	}
+	return nil
+}
+
+// Col returns the index of the named column, -1 if absent.
+func (t *Table) Col(name string) int {
+	for i, h := range t.Header {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Float parses the named column of row i.
+func (t *Table) Float(i int, name string) (float64, error) {
+	c := t.Col(name)
+	if c < 0 {
+		return 0, fmt.Errorf("table %s: no column %q", t.Name, name)
+	}
+	return strconv.ParseFloat(t.Rows[i][c], 64)
+}
+
+// WriteCSV validates the table and writes it as CSV (header first).
+func WriteCSV(w io.Writer, t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile validates and writes the table to path.
+func WriteCSVFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSVFile loads a CSV written by WriteCSVFile back into a Table
+// (named after the path) and validates it, so a consumer of a checked-in
+// table starts from the same well-formedness guarantee the writer gave.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("%s: empty file", path)
+	}
+	t := &Table{Name: path, Header: records[0], Rows: records[1:]}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

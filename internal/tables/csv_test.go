@@ -1,0 +1,115 @@
+package tables
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validTable() *Table {
+	t := &Table{Name: "t", Header: []string{"a", "b"}}
+	t.Append("1", "x")
+	t.Append("2", "y")
+	return t
+}
+
+func TestTableValidate(t *testing.T) {
+	if err := validTable().Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		tab  *Table
+		want string
+	}{
+		{"empty header", &Table{Name: "t"}, "empty header"},
+		{"empty column name", &Table{Name: "t", Header: []string{"a", ""}}, "empty column name"},
+		{"duplicate column", &Table{Name: "t", Header: []string{"a", "a"}}, "duplicate column"},
+		{"ragged row", &Table{Name: "t", Header: []string{"a", "b"}, Rows: [][]string{{"1"}}}, "has 1 cells"},
+		{"empty cell", &Table{Name: "t", Header: []string{"a"}, Rows: [][]string{{""}}}, "empty a"},
+		{"nan cell", &Table{Name: "t", Header: []string{"a"}, Rows: [][]string{{"NaN"}}}, "a = NaN"},
+		{"inf cell", &Table{Name: "t", Header: []string{"a"}, Rows: [][]string{{"+Inf"}}}, "a = +Inf"},
+	}
+	for _, c := range cases {
+		err := c.tab.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWriteCSVRejectsInvalid(t *testing.T) {
+	bad := &Table{Name: "bad", Header: []string{"a"}, Rows: [][]string{{"NaN"}}}
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	if err := WriteCSVFile(path, bad); err == nil {
+		t.Fatal("WriteCSVFile accepted a NaN cell")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	want := validTable()
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := WriteCSVFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Header) != 2 || got.Header[0] != "a" || len(got.Rows) != 2 || got.Rows[1][1] != "y" {
+		t.Errorf("round trip: %+v", got)
+	}
+	if got.Col("b") != 1 || got.Col("zzz") != -1 {
+		t.Errorf("Col: b=%d zzz=%d", got.Col("b"), got.Col("zzz"))
+	}
+	v, err := got.Float(0, "a")
+	if err != nil || v != 1 {
+		t.Errorf("Float(0, a) = %v, %v", v, err)
+	}
+	if _, err := got.Float(0, "zzz"); err == nil {
+		t.Error("Float on missing column succeeded")
+	}
+}
+
+func TestFingerprintMatches(t *testing.T) {
+	a := &Fingerprint{Cores: 4, GOMAXPROCS: 4, GoVersion: "go1.24.0", OS: "linux", Arch: "amd64"}
+	b := *a
+	// Context fields never affect identity.
+	b.Hostname, b.Commit, b.LoadAvg1M = "elsewhere", "deadbee", "9.99"
+	if !a.Matches(&b) {
+		t.Error("fingerprints differing only in context fields should match")
+	}
+	c := *a
+	c.Cores = 8
+	if a.Matches(&c) {
+		t.Error("different core counts should not match")
+	}
+	if a.Matches(nil) || (*Fingerprint)(nil).Matches(a) {
+		t.Error("nil fingerprint must never match")
+	}
+}
+
+func TestEffectiveProcs(t *testing.T) {
+	f := &Fingerprint{Cores: 2}
+	for _, c := range []struct{ p, want int }{{0, 1}, {1, 1}, {2, 2}, {8, 2}} {
+		if got := f.EffectiveProcs(c.p); got != c.want {
+			t.Errorf("EffectiveProcs(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// No fingerprint: nothing to cap against.
+	if got := (*Fingerprint)(nil).EffectiveProcs(8); got != 8 {
+		t.Errorf("nil fingerprint EffectiveProcs(8) = %d", got)
+	}
+}
+
+func TestParseLoadAvg(t *testing.T) {
+	if v := (&Fingerprint{LoadAvg1M: "1.25"}).ParseLoadAvg(); v != 1.25 {
+		t.Errorf("ParseLoadAvg = %v", v)
+	}
+	if v := (&Fingerprint{LoadAvg1M: "junk"}).ParseLoadAvg(); v != 0 {
+		t.Errorf("malformed load avg = %v, want 0", v)
+	}
+	if v := (*Fingerprint)(nil).ParseLoadAvg(); v != 0 {
+		t.Errorf("nil load avg = %v, want 0", v)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 )
 
 // BenchEntry is one per-benchmark record of the machine-readable report:
@@ -19,6 +20,16 @@ type BenchEntry struct {
 	T64SimNS  int64   `json:"t64_sim_ns"`
 	Overhead  float64 `json:"overhead"`  // T1 / Tseq
 	Speedup64 float64 `json:"speedup64"` // Tseq / T64(sim)
+
+	// Per-repeat samples and their 95% confidence intervals. TseqNS/T1NS
+	// above are best-of-N (the gated, noise-robust statistic); the samples
+	// make drift visible per entry instead of only across baselines — a
+	// wide CI on a regressed entry says "noisy box", a tight one says
+	// "real". Never gated on.
+	TseqSamplesNS []int64 `json:"tseq_samples_ns,omitempty"`
+	T1SamplesNS   []int64 `json:"t1_samples_ns,omitempty"`
+	TseqCI95NS    int64   `json:"tseq_ci95_ns,omitempty"` // half-width on the mean
+	T1CI95NS      int64   `json:"t1_ci95_ns,omitempty"`   // half-width on the mean
 
 	// T4 entanglement cost metrics of the T1 run: how hard the slow path
 	// was exercised and what it cost in pinned memory. Zero for the
@@ -73,10 +84,15 @@ type BenchEntry struct {
 // perf work has a tracked trajectory: each run of `mplgo-bench -exp time`
 // drops a BENCH_<timestamp>.json that later runs (and reviewers) can diff.
 type BenchReport struct {
-	Timestamp  string       `json:"timestamp"` // RFC 3339, UTC
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Scale      int          `json:"scale"` // problem-size divisor the run used
+	Timestamp  string `json:"timestamp"` // RFC 3339, UTC
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Scale      int    `json:"scale"` // problem-size divisor the run used
+	// Host fingerprints the machine the report was measured on. The CI
+	// bench gate compares it against the current host and downgrades
+	// regressions to warnings when they differ — a baseline from another
+	// box bounds nothing (PR 8's 10–30% drift story, retired).
+	Host       *Fingerprint `json:"host,omitempty"`
 	Benchmarks []BenchEntry `json:"benchmarks"`
 }
 
@@ -88,6 +104,7 @@ func WriteBenchJSON(rows []TimeRow, timestamp string, scale int, path string) er
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      scale,
+		Host:       CurrentFingerprint(),
 	}
 	for _, r := range rows {
 		rep.Benchmarks = append(rep.Benchmarks, BenchEntry{
@@ -95,6 +112,10 @@ func WriteBenchJSON(rows []TimeRow, timestamp string, scale int, path string) er
 			Entangled:        r.Entangled,
 			TseqNS:           r.Tseq.Nanoseconds(),
 			T1NS:             r.T1.Nanoseconds(),
+			TseqSamplesNS:    durationsNS(r.TseqSamples),
+			T1SamplesNS:      durationsNS(r.T1Samples),
+			TseqCI95NS:       int64(SummarizeNS(durationsNS(r.TseqSamples)).CI95),
+			T1CI95NS:         int64(SummarizeNS(durationsNS(r.T1Samples)).CI95),
 			T64SimNS:         r.T64.Nanoseconds(),
 			Overhead:         r.Overhead,
 			Speedup64:        r.Speedup64,
@@ -116,6 +137,17 @@ func WriteBenchJSON(rows []TimeRow, timestamp string, scale int, path string) er
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func durationsNS(ds []time.Duration) []int64 {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]int64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Nanoseconds()
+	}
+	return out
 }
 
 // WriteReport serializes an already-assembled report to path — the

@@ -1,0 +1,66 @@
+package tables
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	// 10, 20, 30, 40: mean 25, sample stddev sqrt(500/3), df=3 → t=3.182.
+	s := Summarize([]float64{40, 10, 30, 20})
+	if s.N != 4 || s.Min != 10 || s.Max != 40 || s.Mean != 25 {
+		t.Fatalf("summary %+v: want N=4 min=10 mean=25 max=40", s)
+	}
+	wantSD := math.Sqrt(500.0 / 3.0)
+	if math.Abs(s.Stddev-wantSD) > 1e-9 {
+		t.Errorf("stddev %v, want %v", s.Stddev, wantSD)
+	}
+	wantCI := 3.182 * wantSD / 2
+	if math.Abs(s.CI95-wantCI) > 1e-9 {
+		t.Errorf("ci95 %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("empty input: %+v, want zero", s)
+	}
+	// One sample: min = mean = max, no dispersion estimate.
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Min != 7 || s.Mean != 7 || s.Max != 7 || s.CI95 != 0 || s.Stddev != 0 {
+		t.Errorf("single sample: %+v", s)
+	}
+	// Identical samples: zero-width interval.
+	s = Summarize([]float64{3, 3, 3})
+	if s.Stddev != 0 || s.CI95 != 0 {
+		t.Errorf("constant samples: stddev %v ci %v, want 0", s.Stddev, s.CI95)
+	}
+}
+
+func TestTCritTailsIntoNormal(t *testing.T) {
+	if tCrit(0) != 0 {
+		t.Errorf("tCrit(0) = %v", tCrit(0))
+	}
+	if tCrit(1) != 12.706 {
+		t.Errorf("tCrit(1) = %v", tCrit(1))
+	}
+	if tCrit(30) != 2.042 {
+		t.Errorf("tCrit(30) = %v", tCrit(30))
+	}
+	if tCrit(1000) != 1.96 {
+		t.Errorf("tCrit(1000) = %v, want normal approximation", tCrit(1000))
+	}
+}
+
+func TestSummarizeNSAndMinNS(t *testing.T) {
+	s := SummarizeNS([]int64{300, 100, 200})
+	if s.N != 3 || s.Min != 100 || s.Mean != 200 || s.Max != 300 {
+		t.Errorf("SummarizeNS: %+v", s)
+	}
+	if m := MinNS([]int64{5, 2, 9}); m != 2 {
+		t.Errorf("MinNS = %d, want 2", m)
+	}
+	if m := MinNS(nil); m != 0 {
+		t.Errorf("MinNS(nil) = %d, want 0", m)
+	}
+}

@@ -119,6 +119,12 @@ type TimeRow struct {
 	// series is downsampled to at most seriesPoints samples.
 	RetainedSeries   []CounterPoint // retained_chunks over time
 	PinnedPeakSeries []CounterPoint // pinned_peak_bytes over time
+
+	// Every repeat's wall time, in measurement order. Tseq/T1 above are
+	// the best-of-N minima; the samples let the JSON report carry a 95%
+	// CI per entry, so per-entry drift is distinguishable from noise.
+	TseqSamples []time.Duration
+	T1Samples   []time.Duration
 }
 
 // timeReps is how many times TimeTable measures each configuration,
@@ -140,14 +146,20 @@ func TimeTable(sizes map[string]int, w io.Writer) []TimeRow {
 	for _, b := range bench.All {
 		n := size(b, sizes)
 		_, tseq, _ := runGlobal(b, n)
+		tseqSamples := []time.Duration{tseq}
 		for r := 1; r < timeReps; r++ {
-			if _, t, _ := runGlobal(b, n); t < tseq {
+			_, t, _ := runGlobal(b, n)
+			tseqSamples = append(tseqSamples, t)
+			if t < tseq {
 				tseq = t
 			}
 		}
 		_, t1, rt := runMPL(b, n, mpl.Config{Procs: 1, Record: true})
+		t1Samples := []time.Duration{t1}
 		for r := 1; r < timeReps; r++ {
-			if _, t, rt2 := runMPL(b, n, mpl.Config{Procs: 1, Record: true}); t < t1 {
+			_, t, rt2 := runMPL(b, n, mpl.Config{Procs: 1, Record: true})
+			t1Samples = append(t1Samples, t)
+			if t < t1 {
 				t1, rt = t, rt2
 			}
 		}
@@ -168,6 +180,8 @@ func TimeTable(sizes map[string]int, w io.Writer) []TimeRow {
 			StaticRegions:   rt.ElisionStats().StaticRegions,
 			ElidedLoads:     rt.ElisionStats().ElidedLoads,
 			ElidedStores:    rt.ElisionStats().ElidedStores,
+			TseqSamples:     tseqSamples,
+			T1Samples:       t1Samples,
 		}
 		row.RetainedSeries, row.PinnedPeakSeries = tracedSeries(b, n)
 		rows = append(rows, row)

@@ -133,6 +133,12 @@ const (
 	CtrRequestsShed
 	CtrDeadlineExceeded
 	CtrTokensInUse
+	// Experiment-grid identity (cmd/mplgo-paper): a traced grid-cell run
+	// emits one event of each at the root task's start — the cell's id
+	// hash and its per-experiment seed — so a Chrome export of a paper
+	// run is attributable to the exact grid cell that produced it.
+	CtrGridCell
+	CtrGridSeed
 	ctrCounters // sentinel
 )
 
@@ -150,6 +156,8 @@ var counterNames = [ctrCounters]string{
 	CtrRequestsShed:     "requests_shed",
 	CtrDeadlineExceeded: "requests_deadline_exceeded",
 	CtrTokensInUse:      "tokens_in_use",
+	CtrGridCell:         "grid_cell",
+	CtrGridSeed:         "grid_seed",
 }
 
 func (c Counter) String() string {
