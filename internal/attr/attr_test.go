@@ -1,0 +1,251 @@
+// External test package: the alignment and end-to-end tests need trace
+// (which attr imports), and the overhead benchmarks drive the runtime
+// through mpl.
+package attr_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"mplgo/internal/attr"
+	"mplgo/internal/trace"
+)
+
+// TestCounterAlignment pins the offset scheme CounterNS/CounterN rely
+// on: the trace package must lay the attribution counter block out in
+// attr.Component order, two counters per component, named after the
+// component slugs. A mismatch here means the summarizer would label
+// costs with the wrong component.
+func TestCounterAlignment(t *testing.T) {
+	for c := attr.Component(0); c < attr.NumComponents; c++ {
+		wantNS := "attr_" + c.Slug() + "_ns"
+		wantN := "attr_" + c.Slug() + "_n"
+		if got := attr.CounterNS(c).String(); got != wantNS {
+			t.Errorf("CounterNS(%s) = %q, want %q", c.Slug(), got, wantNS)
+		}
+		if got := attr.CounterN(c).String(); got != wantN {
+			t.Errorf("CounterN(%s) = %q, want %q", c.Slug(), got, wantN)
+		}
+		if rc, isNS, ok := attr.ComponentOfCounter(attr.CounterNS(c)); !ok || !isNS || rc != c {
+			t.Errorf("ComponentOfCounter(CounterNS(%s)) = (%v, %v, %v)", c.Slug(), rc, isNS, ok)
+		}
+		if rc, isNS, ok := attr.ComponentOfCounter(attr.CounterN(c)); !ok || isNS || rc != c {
+			t.Errorf("ComponentOfCounter(CounterN(%s)) = (%v, %v, %v)", c.Slug(), rc, isNS, ok)
+		}
+	}
+	// The block must end exactly where the scalar attr counters begin.
+	if got := trace.CtrAttrFirst + trace.Counter(2*int(attr.NumComponents)); got != trace.CtrAttrPeriod {
+		t.Errorf("attr counter block ends at %v, want CtrAttrPeriod", got)
+	}
+	if _, _, ok := attr.ComponentOfCounter(trace.CtrAttrPeriod); ok {
+		t.Error("ComponentOfCounter(CtrAttrPeriod) should not resolve to a component")
+	}
+}
+
+func TestSlugRoundTrip(t *testing.T) {
+	for c := attr.Component(0); c < attr.NumComponents; c++ {
+		if got, ok := attr.ComponentFromSlug(c.Slug()); !ok || got != c {
+			t.Errorf("ComponentFromSlug(%q) = (%v, %v), want (%v, true)", c.Slug(), got, ok, c)
+		}
+	}
+	if _, ok := attr.ComponentFromSlug("no_such_component"); ok {
+		t.Error("ComponentFromSlug accepted an unknown slug")
+	}
+	if attr.Component(-1).Slug() != "unknown" || attr.NumComponents.Slug() != "unknown" {
+		t.Error("out-of-range components should have slug \"unknown\"")
+	}
+}
+
+// TestSamplingRecords drives a period-1 sink (every occurrence sampled)
+// and checks the snapshot arithmetic: estimated total = sampled ns ×
+// period.
+func TestSamplingRecords(t *testing.T) {
+	attr.Enable()
+	defer attr.Disable()
+	p := attr.NewProfiler(1, 1)
+	s := p.Sink(0)
+	const n = 100
+	for i := 0; i < n; i++ {
+		t0 := s.Begin()
+		if t0 == 0 {
+			t.Fatalf("period-1 sink did not sample occurrence %d", i)
+		}
+		s.End(attr.PinCAS, t0)
+	}
+	snap := p.Snapshot()
+	if snap.Samples[attr.PinCAS] != n {
+		t.Fatalf("samples = %d, want %d", snap.Samples[attr.PinCAS], n)
+	}
+	if snap.EstNS(attr.PinCAS) != snap.NS[attr.PinCAS]*1 {
+		t.Fatalf("EstNS = %d, want sampled ns × period = %d",
+			snap.EstNS(attr.PinCAS), snap.NS[attr.PinCAS])
+	}
+	cs, ok := snap.Components[attr.PinCAS.Slug()]
+	if !ok || cs.Samples != n {
+		t.Fatalf("Components[%q] = %+v, %v", attr.PinCAS.Slug(), cs, ok)
+	}
+}
+
+// TestLapTiling checks that consecutive Lap calls attribute disjoint
+// segments: one Begin window tiled across three components yields one
+// sample in each.
+func TestLapTiling(t *testing.T) {
+	attr.Enable()
+	defer attr.Disable()
+	p := attr.NewProfiler(1, 1)
+	s := p.Sink(0)
+	t0 := s.Begin()
+	t0 = s.Lap(attr.AncestryQuery, t0)
+	t0 = s.Lap(attr.GateEnter, t0)
+	s.End(attr.GateExit, t0)
+	snap := p.Snapshot()
+	for _, c := range []attr.Component{attr.AncestryQuery, attr.GateEnter, attr.GateExit} {
+		if snap.Samples[c] != 1 {
+			t.Errorf("%s: samples = %d, want 1", c.Slug(), snap.Samples[c])
+		}
+	}
+	if snap.Samples[attr.PinCAS] != 0 {
+		t.Errorf("untouched component recorded %d samples", snap.Samples[attr.PinCAS])
+	}
+}
+
+// TestNilSafety: every entry point must tolerate nil receivers — the
+// "attribution off" state installs nil sinks everywhere.
+func TestNilSafety(t *testing.T) {
+	var s *attr.Sink
+	if got := s.Begin(); got != 0 {
+		t.Fatalf("nil sink Begin = %d, want 0", got)
+	}
+	s.End(attr.PinCAS, 0)
+	if got := s.Lap(attr.PinCAS, 0); got != 0 {
+		t.Fatalf("nil sink Lap = %d, want 0", got)
+	}
+	var p *attr.Profiler
+	if p.Sink(0) != nil || p.CollectorSink() != nil || p.Snapshot() != nil {
+		t.Fatal("nil profiler must hand out nil sinks and snapshot")
+	}
+	if p.Period() != 0 || p.BiasNS() != 0 {
+		t.Fatal("nil profiler accessors must return zero")
+	}
+	var sink *attr.Sink
+	sink.EmitCounters(nil, 0)
+	attr.EmitSnapshot(nil, nil, 0, 0)
+}
+
+// TestEmitAndSummarize is the end-to-end pipe: sample, flush through a
+// trace ring, export as Chrome JSON, and recover the decomposition via
+// the summarizer (what mplgo-trace -attr prints).
+func TestEmitAndSummarize(t *testing.T) {
+	attr.Enable()
+	trace.Enable()
+	defer attr.Disable()
+	defer trace.Disable()
+
+	p := attr.NewProfiler(1, 1)
+	s := p.Sink(0)
+	for i := 0; i < 32; i++ {
+		s.End(attr.RemsetPublish, s.Begin())
+	}
+	tr := trace.NewTracer(1, 0)
+	// The export drops rings with no non-counter events; give the ring
+	// one real event so the flush has company.
+	tr.Ring(0).Emit(trace.EvFork, 0, 0, 0)
+	attr.EmitSnapshot(p.Snapshot(), tr.Ring(0), 1000, 400)
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := trace.Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Attr == nil {
+		t.Fatal("summary recovered no attribution")
+	}
+	if sum.Attr.Period != 1 || sum.Attr.RunWallNS != 1000 || sum.Attr.SeqWallNS != 400 {
+		t.Fatalf("attr header = %+v", sum.Attr)
+	}
+	if gap := sum.Attr.GapNS(0); gap != 600 {
+		t.Fatalf("GapNS = %d, want 600", gap)
+	}
+	if len(sum.Attr.Rows) != 1 || sum.Attr.Rows[0].Name != "remset_publish" ||
+		sum.Attr.Rows[0].Samples != 32 {
+		t.Fatalf("attr rows = %+v", sum.Attr.Rows)
+	}
+	var rep strings.Builder
+	if !sum.FormatAttr(&rep) {
+		t.Fatal("FormatAttr reported no attribution")
+	}
+	if !strings.Contains(rep.String(), "remset_publish") {
+		t.Fatalf("report missing component row:\n%s", rep.String())
+	}
+}
+
+// TestConcurrentFlushSnapshot is the 8-worker race test: every sink is
+// hammered by its owning goroutine (sampling plus periodic ring
+// flushes) while the main goroutine snapshots and a reader drains the
+// rings. Run under -race in CI, this checks the single-writer
+// discipline: owner-plain countdown, atomic totals, concurrent readers.
+func TestConcurrentFlushSnapshot(t *testing.T) {
+	const workers = 8
+	attr.Enable()
+	trace.Enable()
+	defer attr.Disable()
+	defer trace.Disable()
+
+	p := attr.NewProfiler(workers, 4)
+	tr := trace.NewTracer(workers, 1<<10)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := p.Sink(w)
+			r := tr.Ring(w)
+			for i := 0; i < 4096; i++ {
+				t0 := s.Begin()
+				t0 = s.Lap(attr.Component(i%int(attr.NumComponents)), t0)
+				s.End(attr.Component((i+1)%int(attr.NumComponents)), t0)
+				if i%256 == 0 {
+					s.EmitCounters(r, 0)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := p.Snapshot()
+			var total uint64
+			for c := attr.Component(0); c < attr.NumComponents; c++ {
+				total += snap.Samples[c]
+			}
+			_ = total
+			tr.Snapshot()
+		}
+	}()
+	wg.Add(-1)
+	wg.Wait() // workers only
+	close(stop)
+	wg.Add(1)
+	wg.Wait() // reader
+
+	snap := p.Snapshot()
+	var total uint64
+	for c := attr.Component(0); c < attr.NumComponents; c++ {
+		total += snap.Samples[c]
+	}
+	if total == 0 {
+		t.Fatal("no samples recorded by 8 workers at period 4")
+	}
+}

@@ -1,0 +1,70 @@
+package attr
+
+import "mplgo/internal/trace"
+
+// CounterNS returns the trace counter id carrying component c's
+// estimated total ns; CounterN the one carrying its raw sample count.
+// The offsets rely on the trace package laying the attribution block
+// out in Component order (pinned by TestCounterAlignment).
+func CounterNS(c Component) trace.Counter { return trace.CtrAttrFirst + trace.Counter(2*int(c)) }
+func CounterN(c Component) trace.Counter  { return trace.CtrAttrFirst + trace.Counter(2*int(c)+1) }
+
+// ComponentOfCounter inverts CounterNS/CounterN: for an attribution
+// per-component counter it returns the component and whether the
+// counter is the ns (true) or sample-count (false) leg; ok is false
+// for every other counter (including attr_period and the wall-time
+// pair).
+func ComponentOfCounter(ctr trace.Counter) (c Component, isNS bool, ok bool) {
+	off := int(ctr) - int(trace.CtrAttrFirst)
+	if off < 0 || off >= 2*int(NumComponents) {
+		return 0, false, false
+	}
+	return Component(off / 2), off%2 == 0, true
+}
+
+// EmitCounters flushes one sink's running totals onto a trace ring as
+// counter events (estimated total ns and sample count per non-empty
+// component). Must be called from the strand that owns both the sink
+// and the ring — the same single-writer rule both structures already
+// live by. Nil-safe on every receiver, and free when tracing is off.
+func (s *Sink) EmitCounters(r *trace.Ring, depth int32) {
+	if s == nil || r == nil || !trace.Enabled() {
+		return
+	}
+	for c := Component(0); c < NumComponents; c++ {
+		n := s.samples[c].Load()
+		if n == 0 {
+			continue
+		}
+		est := s.sampledNS[c].Load() * uint64(s.period)
+		r.Emit(trace.EvCounter, depth, uint64(CounterNS(c)), est)
+		r.Emit(trace.EvCounter, depth, uint64(CounterN(c)), n)
+	}
+}
+
+// EmitSnapshot writes an aggregated profiler snapshot onto one ring —
+// the end-of-run flush path, used after every worker has exited (so
+// the single-writer rule cannot be violated) and by the trace
+// experiment, which attributes an untraced run and then stamps its
+// totals into the traced run's export. runWallNS/seqWallNS, when
+// nonzero, record the attributed run's wall time and the sequential
+// baseline for the summarizer's gap math.
+func EmitSnapshot(snap *Snapshot, r *trace.Ring, runWallNS, seqWallNS int64) {
+	if snap == nil || r == nil || !trace.Enabled() {
+		return
+	}
+	r.Emit(trace.EvCounter, 0, uint64(trace.CtrAttrPeriod), uint64(snap.Period))
+	if runWallNS > 0 {
+		r.Emit(trace.EvCounter, 0, uint64(trace.CtrAttrRunWallNS), uint64(runWallNS))
+	}
+	if seqWallNS > 0 {
+		r.Emit(trace.EvCounter, 0, uint64(trace.CtrAttrSeqWallNS), uint64(seqWallNS))
+	}
+	for c := Component(0); c < NumComponents; c++ {
+		if snap.Samples[c] == 0 {
+			continue
+		}
+		r.Emit(trace.EvCounter, 0, uint64(CounterNS(c)), snap.EstNS(c))
+		r.Emit(trace.EvCounter, 0, uint64(CounterN(c)), snap.Samples[c])
+	}
+}

@@ -96,8 +96,10 @@ func (r *Runtime) newTask(w *sched.Worker, h *hierarchy.Heap, node *sim.Node) *T
 	// The heap is executed by this worker's strand from here until its
 	// join, so the worker's ring is the heap's single-writer event ring
 	// (nil when untraced). Heap-side instrumentation (merge, unpin,
-	// entanglement slow paths hit through this leaf) emits into it.
+	// entanglement slow paths hit through this leaf) emits into it. The
+	// attribution sink rides along under the same ownership rule.
 	h.TraceRing = w.Ring
+	h.AttrSink = w.Attr
 	h.AddRootSet(t)
 	return t
 }
@@ -196,15 +198,6 @@ func (t *Task) needGC() bool {
 	return t.rt.chaos != nil && t.rt.chaos.Should(chaos.GCTrigger)
 }
 
-// maybeGC collects the task's exclusive heap suffix if the allocation
-// budget is spent. Must be called before—never after—allocating the object
-// the caller is about to hand out.
-func (t *Task) maybeGC() {
-	if t.needGC() {
-		t.collectNow()
-	}
-}
-
 // collectNow unconditionally attempts a local collection of the task's own
 // leaf heap.
 //
@@ -251,6 +244,10 @@ func (t *Task) collectNow() bool {
 		ring.Emit(trace.EvCounter, d, uint64(trace.CtrStaticRegions), uint64(es.StaticRegions))
 		ring.Emit(trace.EvCounter, d, uint64(trace.CtrElidedLoads), uint64(es.ElidedLoads))
 		ring.Emit(trace.EvCounter, d, uint64(trace.CtrElidedStores), uint64(es.ElidedStores))
+		// Periodic attribution flush: this worker owns both the sink and
+		// the ring, and a collection is a natural boundary where the
+		// strand is already off its fast paths.
+		t.w.Attr.EmitCounters(ring, d)
 	}
 	t.alloc.Retarget(t.heap.ID)
 	t.Work(res.CopiedWords * costGCWord)

@@ -42,6 +42,22 @@ type CellResult struct {
 	Host *tables.Fingerprint `json:"host"`
 	// TraceEvents counts the events captured by the optional traced run.
 	TraceEvents int `json:"trace_events,omitempty"`
+	// Steal-to-first-event latency of the traced run (only with
+	// TracePath): for each steal, the gap until the stealing worker's
+	// next trace event. High values on a cell whose measurement diverges
+	// from the simulator point at scheduler hand-off latency the
+	// simulator does not model (the crossval report cross-references
+	// them).
+	StealLatCount  int   `json:"steal_lat_count,omitempty"`
+	StealLatMeanNS int64 `json:"steal_lat_mean_ns,omitempty"`
+	StealLatMaxNS  int64 `json:"steal_lat_max_ns,omitempty"`
+	// Cost attribution of one extra untimed attributed run (only with
+	// Cell.Attr): slug → estimated total ns / sample count, at the
+	// recorded sampling period.
+	AttrPeriod  int64            `json:"attr_period,omitempty"`
+	AttrWallNS  int64            `json:"attr_wall_ns,omitempty"`
+	AttrNS      map[string]int64 `json:"attr_ns,omitempty"`
+	AttrSamples map[string]int64 `json:"attr_samples,omitempty"`
 }
 
 // cellConfig maps a cell's knobs onto a runtime config.
@@ -162,21 +178,96 @@ func ExecuteCell(c Cell) (*CellResult, error) {
 	res.SimT1, res.SimTP, res.SimTPEff = r1.Makespan, rp.Makespan, re.Makespan
 
 	if c.TracePath != "" {
-		n, err := traceCell(c, b, cfg)
+		n, lat, err := traceCell(c, b, cfg)
 		if err != nil {
 			return nil, err
 		}
 		res.TraceEvents = n
+		res.StealLatCount = lat.count
+		res.StealLatMeanNS = lat.meanNS()
+		res.StealLatMaxNS = lat.maxNS
+	}
+
+	if c.Attr {
+		prof := mpl.NewAttrProfiler(cfg.Procs, 0)
+		attrCfg := cfg
+		attrCfg.Attr = prof
+		mpl.AttrEnable()
+		start := time.Now()
+		rt := mpl.New(attrCfg)
+		_, err := rt.Run(func(t *mpl.Task) mpl.Value { return mpl.Int(b.MPL(t, c.N)) })
+		wall := time.Since(start)
+		mpl.AttrDisable()
+		if err != nil {
+			return nil, fmt.Errorf("cell %s: attributed run: %w", c.ID, err)
+		}
+		snap := prof.Snapshot()
+		res.AttrPeriod = snap.Period
+		res.AttrWallNS = wall.Nanoseconds()
+		res.AttrNS = make(map[string]int64, len(snap.Components))
+		res.AttrSamples = make(map[string]int64, len(snap.Components))
+		for slug, cs := range snap.Components {
+			res.AttrNS[slug] = int64(cs.EstNS)
+			res.AttrSamples[slug] = int64(cs.Samples)
+		}
 	}
 	return res, nil
+}
+
+// stealLat accumulates steal-to-first-event latencies.
+type stealLat struct {
+	count   int
+	totalNS int64
+	maxNS   int64
+}
+
+func (l *stealLat) add(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	l.count++
+	l.totalNS += d
+	if d > l.maxNS {
+		l.maxNS = d
+	}
+}
+
+func (l *stealLat) meanNS() int64 {
+	if l.count == 0 {
+		return 0
+	}
+	return l.totalNS / int64(l.count)
+}
+
+// stealLatency scans a tracer snapshot for steal-to-first-event gaps.
+// Each ring is one worker's time-ordered event stream, so the event
+// following a steal on the same ring is the first evidence the stolen
+// task ran.
+func stealLatency(snap [][]trace.Event) stealLat {
+	var l stealLat
+	for _, ring := range snap {
+		pending := int64(-1)
+		for _, e := range ring {
+			if pending >= 0 {
+				l.add(e.TS - pending)
+				pending = -1
+			}
+			if e.Kind == trace.EvSteal {
+				pending = e.TS
+			}
+		}
+	}
+	return l
 }
 
 // traceCell reruns the cell once, untimed, with a tracer installed, and
 // writes the Chrome export to c.TracePath. The root task emits the
 // grid_cell and grid_seed counters first, so the export is attributable
 // to its cell (satisfying the single-writer ring contract: the emits run
-// on the root strand's own worker).
-func traceCell(c Cell, b bench.Benchmark, cfg mpl.Config) (int, error) {
+// on the root strand's own worker). The snapshot is also scanned for
+// steal-to-first-event latency, the scheduler hand-off cost the crossval
+// report cross-references against simulator divergence.
+func traceCell(c Cell, b bench.Benchmark, cfg mpl.Config) (int, stealLat, error) {
 	tr := mpl.NewTracer(cfg.Procs, 0)
 	cfg.Tracer = tr
 	mpl.TraceEnable()
@@ -188,19 +279,21 @@ func traceCell(c Cell, b bench.Benchmark, cfg mpl.Config) (int, error) {
 	})
 	mpl.TraceDisable()
 	if err != nil {
-		return 0, fmt.Errorf("cell %s: traced run: %w", c.ID, err)
+		return 0, stealLat{}, fmt.Errorf("cell %s: traced run: %w", c.ID, err)
 	}
+	snap := tr.Snapshot()
 	events := 0
-	for _, ring := range tr.Snapshot() {
+	for _, ring := range snap {
 		events += len(ring)
 	}
+	lat := stealLatency(snap)
 	f, err := os.Create(c.TracePath)
 	if err != nil {
-		return events, err
+		return events, lat, err
 	}
 	if err := mpl.WriteChrome(f, tr); err != nil {
 		f.Close()
-		return events, err
+		return events, lat, err
 	}
-	return events, f.Close()
+	return events, lat, f.Close()
 }

@@ -28,6 +28,9 @@ type Runner struct {
 	// TraceDir, when set, gives every cell a TracePath under it (one
 	// Chrome export per cell, stamped with the cell-identity counters).
 	TraceDir string
+	// Attr, when set, gives every cell one extra attributed run whose
+	// slow-path cost decomposition rides in the CellResult.
+	Attr bool
 	// Cores overrides the host core count for sweep expansion (0 = the
 	// current fingerprint's).
 	Cores int
@@ -96,6 +99,7 @@ func (r *Runner) Run() (*Report, error) {
 		if r.TraceDir != "" {
 			c.TracePath = filepath.Join(r.TraceDir, fmt.Sprintf("cell-%03d.trace.json", i))
 		}
+		c.Attr = c.Attr || r.Attr
 		start := time.Now()
 		res, err := r.runCell(c)
 		if err != nil {
@@ -187,10 +191,23 @@ func (rep *Report) crossValidate(spec *Spec) {
 			}
 			if cv.Divergence > spec.SimTolerance || cv.Divergence < -spec.SimTolerance {
 				cv.SimFlagged = true
-				rep.SimFlags = append(rep.SimFlags, fmt.Sprintf(
+				flag := fmt.Sprintf(
 					"%s: measured %s diverges %+.0f%% from simulator prediction %s",
 					c.ID, time.Duration(cv.MinNS), cv.Divergence*100,
-					time.Duration(int64(cv.SimPredNS))))
+					time.Duration(int64(cv.SimPredNS)))
+				// When the traced run measured scheduler hand-off latency
+				// and it accounts for a visible slice of the wall clock,
+				// say so: the simulator charges a flat StealCost per
+				// migration, so high real steal latency is the first
+				// suspect for a cell running slower than predicted.
+				if lat := int64(res.StealLatCount) * res.StealLatMeanNS; res.StealLatCount > 0 &&
+					cv.MinNS > 0 && lat*20 > cv.MinNS {
+					flag += fmt.Sprintf(
+						" — coincides with high steal latency (%d steals, mean %s, ~%.0f%% of wall)",
+						res.StealLatCount, time.Duration(res.StealLatMeanNS),
+						100*float64(lat)/float64(cv.MinNS))
+				}
+				rep.SimFlags = append(rep.SimFlags, flag)
 			}
 			if !cv.BrentOK {
 				rep.BrentViolations = append(rep.BrentViolations, fmt.Sprintf(

@@ -1,0 +1,54 @@
+package mem
+
+import "sync/atomic"
+
+// pinCtr is an atomic counter padded to its own cache line: the pin CAS
+// runs on every worker's barrier slow path at once, and an unpadded
+// array of outcomes would false-share one line across all of them.
+type pinCtr struct {
+	atomic.Int64
+	_ [56]byte
+}
+
+// PinCASStats counts object-header pin-CAS outcomes, the companion to
+// the cycle-level attribution windows in internal/attr: attr answers
+// "how long does the pin CAS cost", this answers "why" (how often it
+// retried, hit a BUSY copier, or chased a forward). The pointer on
+// Space is nil except in attributed runs, so PinHeader pays one pointer
+// test when profiling is off — the same discipline as Space.Chaos.
+type PinCASStats struct {
+	Attempts     pinCtr // PinHeader calls
+	Retries      pinCtr // CAS failures that looped (lost to a racing pin/unpin)
+	Busy         pinCtr // refused: collector held the object BUSY mid-copy
+	Forwarded    pinCtr // refused: object relocated, caller must chase
+	New          pinCtr // successful PLAIN → PINNED transitions
+	DepthLowered pinCtr // already pinned, unpin depth lowered
+	Already      pinCtr // already pinned at least as deep; header untouched
+}
+
+// PinCASSnapshot is a plain copy of PinCASStats for reports.
+type PinCASSnapshot struct {
+	Attempts     int64 `json:"attempts"`
+	Retries      int64 `json:"retries"`
+	Busy         int64 `json:"busy"`
+	Forwarded    int64 `json:"forwarded"`
+	New          int64 `json:"new"`
+	DepthLowered int64 `json:"depth_lowered"`
+	Already      int64 `json:"already"`
+}
+
+// Snapshot returns a point-in-time copy; nil-safe (zero snapshot).
+func (ps *PinCASStats) Snapshot() PinCASSnapshot {
+	if ps == nil {
+		return PinCASSnapshot{}
+	}
+	return PinCASSnapshot{
+		Attempts:     ps.Attempts.Load(),
+		Retries:      ps.Retries.Load(),
+		Busy:         ps.Busy.Load(),
+		Forwarded:    ps.Forwarded.Load(),
+		New:          ps.New.Load(),
+		DepthLowered: ps.DepthLowered.Load(),
+		Already:      ps.Already.Load(),
+	}
+}

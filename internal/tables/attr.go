@@ -1,0 +1,164 @@
+// The attribution experiment (mplgo-bench -exp attr): decompose each
+// benchmark's T1−Tseq overhead gap into the sampled slow-path cost
+// components of package attr, print the table, and merge the numbers
+// into the bench JSON as never-gated trajectory columns.
+
+package tables
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"mplgo/internal/attr"
+	"mplgo/internal/bench"
+)
+
+// AttrResult is one benchmark's cost-attribution decomposition.
+type AttrResult struct {
+	Name     string
+	TseqNS   int64 // best-of-N sequential baseline
+	T1NS     int64 // the attributed run's wall clock (includes sampling)
+	GapNS    int64 // T1NS − TseqNS
+	Coverage float64
+	Snapshot *attr.Snapshot
+}
+
+// AttrTable runs the attribution experiment on the named benchmarks and
+// prints one decomposition table per benchmark: component × {samples,
+// estimated total ns, share of the T1−Tseq gap}, plus the coverage line
+// (how much of the gap the sampled components explain).
+func AttrTable(names []string, sizes map[string]int, w io.Writer) ([]AttrResult, error) {
+	var out []AttrResult
+	fmt.Fprintf(w, "# A: cost attribution — sampled decomposition of the T1−Tseq gap (P=1)\n")
+	for _, name := range names {
+		b, ok := bench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		n := size(b, sizes)
+		snap, attrWall, tseq := attributeRun(b, n)
+		r := AttrResult{
+			Name:     name,
+			TseqNS:   tseq.Nanoseconds(),
+			T1NS:     attrWall.Nanoseconds(),
+			GapNS:    attrWall.Nanoseconds() - tseq.Nanoseconds(),
+			Snapshot: snap,
+		}
+		if r.GapNS > 0 {
+			r.Coverage = float64(snap.TotalEstNS()) / float64(r.GapNS)
+		}
+		out = append(out, r)
+
+		fmt.Fprintf(w, "%s: T1=%s Tseq=%s gap=%s (period 1/%d)\n",
+			name, fmtD(attrWall), fmtD(tseq), fmtD(time.Duration(r.GapNS)), snap.Period)
+		fmt.Fprintf(w, "  %-16s %10s %14s %8s\n", "component", "samples", "est total", "% gap")
+		for _, c := range componentsByCost(snap) {
+			cs := snap.Components[c.Slug()]
+			pct := 0.0
+			if r.GapNS > 0 {
+				pct = 100 * float64(cs.EstNS) / float64(r.GapNS)
+			}
+			fmt.Fprintf(w, "  %-16s %10d %14s %7.1f%%\n",
+				c.Slug(), cs.Samples, fmtD(time.Duration(cs.EstNS)), pct)
+		}
+		fmt.Fprintf(w, "  %-16s %10s %14s %7.1f%%\n",
+			"total", "", fmtD(time.Duration(snap.TotalEstNS())), 100*r.Coverage)
+	}
+	return out, nil
+}
+
+// componentsByCost orders a snapshot's non-empty components by
+// descending estimated cost.
+func componentsByCost(snap *attr.Snapshot) []attr.Component {
+	var cs []attr.Component
+	for c := attr.Component(0); c < attr.NumComponents; c++ {
+		if snap.Samples[c] > 0 {
+			cs = append(cs, c)
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return snap.EstNS(cs[i]) > snap.EstNS(cs[j]) })
+	return cs
+}
+
+// validateSlack is the estimator-noise allowance of the wall-clock
+// bound below: component estimates are 1-in-period extrapolations, so
+// a few hundred samples can overshoot the true cost by several percent
+// even when the instrumentation is correct — and the tail is heavy,
+// because a single OS preemption landing inside a sampled window
+// inflates the estimate by period × stall. The bound exists to catch
+// double-counting (windows overlapping ⇒ sums near 2× wall), so a
+// generous slack loses nothing.
+const validateSlack = 1.5
+
+// ValidateAttrResults checks a report's internal consistency: every
+// component must be a known member of the attr enum, and the component
+// estimates must not exceed the attributed run's wall clock (times a
+// sampling-noise slack). The windows are disjoint tiles of wall time on
+// a P=1 run, so their true total is bounded by the wall clock — an
+// estimate past that means the instrumentation double-counts or the
+// counter naming drifted, not that performance regressed. Note the
+// bound is the wall clock, NOT the T1−Tseq gap: slow-path cost can
+// legitimately exceed the gap on benchmarks where the hierarchical
+// runtime is cheaper than the global baseline elsewhere (the %-of-gap
+// column then reads over 100%, which is honest and worth seeing).
+// This is the CI attribution job's gate.
+func ValidateAttrResults(rs []AttrResult) error {
+	for _, r := range rs {
+		for slug := range r.Snapshot.Components {
+			if _, ok := attr.ComponentFromSlug(slug); !ok {
+				return fmt.Errorf("%s: unknown attribution component %q", r.Name, slug)
+			}
+		}
+		if bound := float64(r.T1NS) * validateSlack; float64(r.Snapshot.TotalEstNS()) > bound {
+			return fmt.Errorf("%s: component estimates sum to %v, more than the %v attributed wall clock ×%.2f",
+				r.Name, time.Duration(r.Snapshot.TotalEstNS()), time.Duration(r.T1NS), validateSlack)
+		}
+	}
+	return nil
+}
+
+// MergeAttrJSON folds attribution results into the bench JSON at path:
+// if the file exists its matching entries gain the attr_* columns
+// (entries are matched by name; unmatched results are appended), and
+// otherwise a fresh report is written. The attr columns are trajectory
+// data — CompareBenchReports gates only on Overhead, which stays zero
+// for appended attr-only entries.
+func MergeAttrJSON(rs []AttrResult, timestamp string, scale int, path string) error {
+	rep, err := ReadBenchJSON(path)
+	if err != nil {
+		rep = &BenchReport{
+			Timestamp:  timestamp,
+			Scale:      scale,
+			Host:       CurrentFingerprint(),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+	}
+	for _, r := range rs {
+		idx := -1
+		for i := range rep.Benchmarks {
+			if rep.Benchmarks[i].Name == r.Name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			rep.Benchmarks = append(rep.Benchmarks, BenchEntry{Name: r.Name})
+			idx = len(rep.Benchmarks) - 1
+		}
+		e := &rep.Benchmarks[idx]
+		e.AttrPeriod = r.Snapshot.Period
+		e.AttrGapNS = r.GapNS
+		e.AttrCoverage = r.Coverage
+		e.AttrNS = make(map[string]int64, len(r.Snapshot.Components))
+		e.AttrSamples = make(map[string]int64, len(r.Snapshot.Components))
+		for slug, cs := range r.Snapshot.Components {
+			e.AttrNS[slug] = int64(cs.EstNS)
+			e.AttrSamples[slug] = int64(cs.Samples)
+		}
+	}
+	return WriteReport(rep, path)
+}

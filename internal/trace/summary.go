@@ -12,6 +12,7 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -57,6 +58,68 @@ type Summary struct {
 
 	// Counter track maxima (pinned bytes, live words, ...).
 	CounterMax map[Counter]uint64
+
+	// Steal-to-first-event latency: for each EvSteal, the gap until the
+	// stealing worker's next trace event — the first evidence the stolen
+	// task is actually running. An upper bound on scheduler hand-off
+	// latency at trace granularity (the next event may itself be late).
+	StealLat         PhaseStats
+	StealLatByWorker map[int]*WorkerStealLat
+
+	// Grid-cell identity (PR 9's expgrid runner stamps every cell trace
+	// with grid_cell/grid_seed counters). HasGrid reports whether the
+	// trace carried them.
+	GridCell uint64
+	GridSeed uint64
+	HasGrid  bool
+
+	// Attr is the cost-attribution decomposition extracted from attr_*
+	// counters, nil when the trace carried none.
+	Attr *AttrSummary
+}
+
+// WorkerStealLat is one worker's steal-to-first-event latency profile.
+type WorkerStealLat struct {
+	PhaseStats
+	Hist [PinLifetimeBuckets]int
+}
+
+// AttrSummary is the slow-path cost decomposition recovered from attr_*
+// counters. Attr counters are cumulative per emitting ring, so the
+// summarizer takes the per-ring maximum and sums across rings — correct
+// both for per-worker periodic flushes and for a single end-of-run
+// snapshot emitted onto one ring.
+type AttrSummary struct {
+	Period    uint64 // sampling period (attr_period)
+	RunWallNS uint64 // attributed-run wall clock, 0 if not recorded
+	SeqWallNS uint64 // sequential-baseline wall clock, 0 if not recorded
+	Rows      []AttrRow
+}
+
+// AttrRow is one component of the decomposition.
+type AttrRow struct {
+	Name    string // component slug ("pin_cas", ...)
+	Samples uint64
+	EstNS   uint64 // sampled ns × period
+}
+
+// TotalEstNS sums the estimated cost over all components.
+func (a *AttrSummary) TotalEstNS() uint64 {
+	var t uint64
+	for _, r := range a.Rows {
+		t += r.EstNS
+	}
+	return t
+}
+
+// GapNS returns the T1−Tseq gap the decomposition is measured against:
+// run wall minus sequential wall when both were recorded with the
+// snapshot, otherwise fallbackNS (callers pass the trace span).
+func (a *AttrSummary) GapNS(fallbackNS int64) int64 {
+	if a.RunWallNS > 0 && a.SeqWallNS > 0 && a.RunWallNS > a.SeqWallNS {
+		return int64(a.RunWallNS - a.SeqWallNS)
+	}
+	return fallbackNS
 }
 
 // PhaseStats aggregates matched begin/end spans of one phase kind.
@@ -120,9 +183,16 @@ func Summarize(r io.Reader) (*Summary, error) {
 	}
 
 	s := &Summary{
-		ByKind:     make(map[Kind]int),
-		CounterMax: make(map[Counter]uint64),
+		ByKind:           make(map[Kind]int),
+		CounterMax:       make(map[Counter]uint64),
+		StealLatByWorker: make(map[int]*WorkerStealLat),
 	}
+	// Attr counters are cumulative per emitting ring: reduce to a total
+	// by max within a ring, sum across rings (see AttrSummary).
+	attrPerTID := make(map[int]map[Counter]uint64)
+	// Pending steal timestamps per worker, matched against the worker's
+	// next event.
+	stealAt := make(map[int]int64)
 	var minTS, maxTS int64
 	first := true
 	workers := make(map[int]bool)
@@ -182,9 +252,31 @@ func Summarize(r io.Reader) (*Summary, error) {
 		}
 		first = false
 
+		// Close a pending steal→first-event window for this worker.
+		if t0, ok := stealAt[e.TID]; ok {
+			delete(stealAt, e.TID)
+			d := time.Duration(e.Args.TSNS - t0)
+			if d < 0 {
+				d = 0
+			}
+			s.StealLat.add(d)
+			wl := s.StealLatByWorker[e.TID]
+			if wl == nil {
+				wl = &WorkerStealLat{}
+				s.StealLatByWorker[e.TID] = wl
+			}
+			wl.add(d)
+			b := bits.Len64(uint64(d))
+			if b >= PinLifetimeBuckets {
+				b = PinLifetimeBuckets - 1
+			}
+			wl.Hist[b]++
+		}
+
 		switch k {
 		case EvSteal:
 			s.Steals++
+			stealAt[e.TID] = e.Args.TSNS
 		case EvFork:
 			s.Forks++
 		case EvSlowRead:
@@ -221,6 +313,16 @@ func Summarize(r io.Reader) (*Summary, error) {
 			if v > s.CounterMax[ctr] {
 				s.CounterMax[ctr] = v
 			}
+			if ctr >= CtrAttrFirst && ctr <= CtrAttrSeqWallNS {
+				m := attrPerTID[e.TID]
+				if m == nil {
+					m = make(map[Counter]uint64)
+					attrPerTID[e.TID] = m
+				}
+				if v > m[ctr] {
+					m[ctr] = v
+				}
+			}
 		}
 
 		switch e.Ph {
@@ -248,13 +350,60 @@ func Summarize(r io.Reader) (*Summary, error) {
 		s.SlowReadsPerSec = float64(s.SlowReads) / sec
 		s.EntangledReadsPerSec = float64(s.EntangledReads) / sec
 	}
+
+	if v, ok := s.CounterMax[CtrGridCell]; ok {
+		s.HasGrid = true
+		s.GridCell = v
+		s.GridSeed = s.CounterMax[CtrGridSeed]
+	}
+	s.Attr = reduceAttr(attrPerTID)
 	return s, nil
+}
+
+// reduceAttr folds per-ring cumulative attr counters into one
+// decomposition: max within a ring (the counters only grow), sum across
+// rings. Returns nil when no attr counters appeared.
+func reduceAttr(perTID map[int]map[Counter]uint64) *AttrSummary {
+	if len(perTID) == 0 {
+		return nil
+	}
+	totals := make(map[Counter]uint64)
+	for _, m := range perTID {
+		for c, v := range m {
+			switch c {
+			case CtrAttrPeriod, CtrAttrRunWallNS, CtrAttrSeqWallNS:
+				if v > totals[c] {
+					totals[c] = v
+				}
+			default:
+				totals[c] += v
+			}
+		}
+	}
+	a := &AttrSummary{
+		Period:    totals[CtrAttrPeriod],
+		RunWallNS: totals[CtrAttrRunWallNS],
+		SeqWallNS: totals[CtrAttrSeqWallNS],
+	}
+	for c := CtrAttrFirst; c < CtrAttrPeriod; c += 2 {
+		ns, n := totals[c], totals[c+1]
+		if ns == 0 && n == 0 {
+			continue
+		}
+		slug := strings.TrimSuffix(strings.TrimPrefix(c.String(), "attr_"), "_ns")
+		a.Rows = append(a.Rows, AttrRow{Name: slug, Samples: n, EstNS: ns})
+	}
+	sort.Slice(a.Rows, func(i, j int) bool { return a.Rows[i].EstNS > a.Rows[j].EstNS })
+	return a
 }
 
 // Format renders the summary as the human-readable report mplgo-trace
 // prints.
 func (s *Summary) Format(w io.Writer) {
 	fmt.Fprintf(w, "events:           %d over %v (%d active rings)\n", s.Events, s.Span, s.Workers)
+	if s.HasGrid {
+		fmt.Fprintf(w, "grid cell:        id=%d seed=%d\n", s.GridCell, s.GridSeed)
+	}
 	fmt.Fprintf(w, "forks:            %d\n", s.Forks)
 	fmt.Fprintf(w, "steals:           %d (%.1f/s)\n", s.Steals, s.StealsPerSec)
 	fmt.Fprintf(w, "slow reads:       %d (%.1f/s)\n", s.SlowReads, s.SlowReadsPerSec)
@@ -288,15 +437,81 @@ func (s *Summary) Format(w io.Writer) {
 	phase("CGC mark", s.CGCMark)
 	phase("CGC sweep", s.CGCSweep)
 
-	if len(s.CounterMax) > 0 {
-		ctrs := make([]Counter, 0, len(s.CounterMax))
-		for c := range s.CounterMax {
-			ctrs = append(ctrs, c)
+	if s.StealLat.Count > 0 {
+		fmt.Fprintf(w, "steal latency (steal → next event): %d matched, mean %v, max %v\n",
+			s.StealLat.Count, s.StealLat.Mean(), s.StealLat.Max)
+		tids := make([]int, 0, len(s.StealLatByWorker))
+		for t := range s.StealLatByWorker {
+			tids = append(tids, t)
 		}
+		sort.Ints(tids)
+		for _, t := range tids {
+			wl := s.StealLatByWorker[t]
+			fmt.Fprintf(w, "  worker %-3d %4d steals, mean %v, max %v | log2-ns hist:",
+				t, wl.Count, wl.Mean(), wl.Max)
+			for b, n := range wl.Hist {
+				if n == 0 {
+					continue
+				}
+				fmt.Fprintf(w, " [2^%d)=%d", b, n)
+			}
+			fmt.Fprintf(w, "\n")
+		}
+	}
+
+	// Generic counter maxima: attr_* and grid_* counters get their own
+	// labelled reporting above / via FormatAttr, so keep them out of the
+	// raw list.
+	ctrs := make([]Counter, 0, len(s.CounterMax))
+	for c := range s.CounterMax {
+		name := c.String()
+		if strings.HasPrefix(name, "attr_") || strings.HasPrefix(name, "grid_") {
+			continue
+		}
+		ctrs = append(ctrs, c)
+	}
+	if len(ctrs) > 0 {
 		sort.Slice(ctrs, func(i, j int) bool { return ctrs[i] < ctrs[j] })
 		fmt.Fprintf(w, "counter maxima:\n")
 		for _, c := range ctrs {
 			fmt.Fprintf(w, "  %-20s %d\n", c.String(), s.CounterMax[c])
 		}
 	}
+	if s.Attr != nil {
+		fmt.Fprintf(w, "attribution:      %d components sampled at 1/%d (use -attr for the breakdown)\n",
+			len(s.Attr.Rows), s.Attr.Period)
+	}
+}
+
+// FormatAttr renders the attribution report: component × {samples,
+// estimated total ns, share of the T1−Tseq gap}, plus a coverage line.
+// Returns false when the trace carried no attribution counters.
+func (s *Summary) FormatAttr(w io.Writer) bool {
+	a := s.Attr
+	if a == nil {
+		return false
+	}
+	gap := a.GapNS(int64(s.Span))
+	fmt.Fprintf(w, "cost attribution (sampling period 1/%d):\n", a.Period)
+	if a.RunWallNS > 0 && a.SeqWallNS > 0 {
+		fmt.Fprintf(w, "  run wall %v, seq wall %v, gap %v\n",
+			time.Duration(a.RunWallNS), time.Duration(a.SeqWallNS), time.Duration(gap))
+	} else {
+		fmt.Fprintf(w, "  no wall-clock snapshot in trace; gap falls back to span %v\n", s.Span)
+	}
+	fmt.Fprintf(w, "  %-16s %10s %14s %8s\n", "component", "samples", "est total", "% gap")
+	for _, r := range a.Rows {
+		pct := 0.0
+		if gap > 0 {
+			pct = 100 * float64(r.EstNS) / float64(gap)
+		}
+		fmt.Fprintf(w, "  %-16s %10d %14v %7.1f%%\n",
+			r.Name, r.Samples, time.Duration(r.EstNS), pct)
+	}
+	cov := 0.0
+	if gap > 0 {
+		cov = 100 * float64(a.TotalEstNS()) / float64(gap)
+	}
+	fmt.Fprintf(w, "  %-16s %10s %14v %7.1f%%\n", "total", "", time.Duration(a.TotalEstNS()), cov)
+	return true
 }
